@@ -1,0 +1,148 @@
+"""Ablations (A1) and scaling sweeps (A2) — not in the paper, but exercising
+its design choices: O vs HO, hard vs soft relocation, solver backends,
+aligned vs unaligned tessellation, and model growth with device/workload size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import annealing_floorplan, first_fit_floorplan, tessellation_floorplan
+from repro.baselines.annealing import AnnealingOptions
+from repro.device.catalog import synthetic_device
+from repro.device.resources import ResourceVector
+from repro.floorplan import FloorplanSolver, ObjectiveWeights
+from repro.floorplan.metrics import evaluate_floorplan
+from repro.floorplan.milp_builder import build_floorplan_milp
+from repro.floorplan.problem import Connection, FloorplanProblem, Region
+from repro.milp import SolverOptions
+from repro.relocation import RelocationSpec
+from repro.relocation.constraints import apply_relocation_constraints
+
+
+def _small_problem(name: str = "ablation") -> FloorplanProblem:
+    device = synthetic_device(12, 5, bram_every=4, dsp_every=9, name=f"{name}-dev")
+    regions = [
+        Region("A", ResourceVector(CLB=6)),
+        Region("B", ResourceVector(CLB=3, BRAM=1)),
+        Region("C", ResourceVector(CLB=2, DSP=1)),
+    ]
+    connections = [Connection("A", "B", weight=16), Connection("B", "C", weight=16)]
+    return FloorplanProblem(device, regions, connections, name=name)
+
+
+FAST = SolverOptions(time_limit=60, mip_gap=0.02)
+
+
+# ----------------------------------------------------------------------
+# A1 — mode / backend / constraint-vs-metric ablations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["O", "HO"])
+def test_ablation_o_vs_ho(benchmark, mode):
+    problem = _small_problem()
+
+    def run():
+        return FloorplanSolver(problem, mode=mode, options=FAST).solve(
+            weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0)
+        )
+
+    report = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert report.solution.status.has_solution
+    assert report.verification.is_feasible
+    print(f"\n{mode}: wasted={report.metrics.wasted_frames} "
+          f"time={report.solution.solve_time:.2f}s model={report.milp.model.stats()}")
+
+
+@pytest.mark.parametrize("hard", [True, False], ids=["constraint", "metric"])
+def test_ablation_constraint_vs_metric(benchmark, hard):
+    problem = _small_problem()
+    spec = (
+        RelocationSpec.as_constraint({"B": 1, "C": 1})
+        if hard
+        else RelocationSpec.as_metric({"B": 1, "C": 1})
+    )
+
+    def run():
+        return FloorplanSolver(problem, relocation=spec, options=FAST).solve()
+
+    report = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert report.solution.status.has_solution
+    assert report.floorplan.num_free_compatible_areas == 2
+
+
+@pytest.mark.parametrize("backend", ["highs", "branch-bound"])
+def test_ablation_solver_backend(benchmark, backend):
+    """The pure-Python branch and bound solves the same tiny model too."""
+    device = synthetic_device(6, 2, bram_every=3, dsp_every=0, name=f"backend-{backend}")
+    problem = FloorplanProblem(
+        device,
+        [Region("A", ResourceVector(CLB=2)), Region("B", ResourceVector(CLB=1, BRAM=1))],
+        name=f"backend-{backend}",
+    )
+    options = SolverOptions(backend=backend, time_limit=120)
+
+    def run():
+        return FloorplanSolver(problem, options=options).solve(
+            weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0)
+        )
+
+    report = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert report.solution.status.has_solution
+    assert report.verification.is_feasible
+    assert report.metrics.wasted_frames >= 0
+
+
+@pytest.mark.parametrize(
+    "heuristic",
+    ["first-fit", "tessellation-aligned", "tessellation-unaligned", "annealing"],
+)
+def test_ablation_heuristics(benchmark, heuristic):
+    problem = _small_problem()
+    runners = {
+        "first-fit": lambda: first_fit_floorplan(problem),
+        "tessellation-aligned": lambda: tessellation_floorplan(problem),
+        "tessellation-unaligned": lambda: tessellation_floorplan(problem, align_rows=False),
+        "annealing": lambda: annealing_floorplan(
+            problem, AnnealingOptions(iterations=3000, seed=1)
+        ),
+    }
+    floorplan = benchmark.pedantic(runners[heuristic], iterations=1, rounds=1)
+    assert floorplan is not None and floorplan.is_complete
+    print(f"\n{heuristic}: wasted={evaluate_floorplan(floorplan).wasted_frames}")
+
+
+# ----------------------------------------------------------------------
+# A2 — model-size scaling with device width and relocation copies
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("width", [10, 16, 24, 33])
+def test_scaling_model_build_with_device_width(benchmark, width):
+    device = synthetic_device(width, 6, bram_every=5, dsp_every=9, name=f"scale-{width}")
+    regions = [
+        Region("A", ResourceVector(CLB=5)),
+        Region("B", ResourceVector(CLB=3, BRAM=1)),
+        Region("C", ResourceVector(CLB=2)),
+    ]
+    problem = FloorplanProblem(device, regions, name=f"scale-{width}")
+    milp = benchmark(build_floorplan_milp, problem)
+    stats = milp.model.stats()
+    print(f"\nwidth={width}: {stats}")
+    assert stats.num_variables > 0
+
+
+@pytest.mark.parametrize("copies", [0, 1, 2, 3])
+def test_scaling_model_build_with_relocation_copies(benchmark, copies):
+    problem = _small_problem(name=f"copies-{copies}")
+    spec = RelocationSpec.as_constraint({"B": copies}) if copies else RelocationSpec.empty()
+
+    def build():
+        milp = build_floorplan_milp(
+            problem, extra_areas=spec.build_area_specs(problem) if copies else ()
+        )
+        if copies:
+            apply_relocation_constraints(milp)
+        return milp
+
+    milp = benchmark(build)
+    stats = milp.model.stats()
+    print(f"\ncopies={copies}: {stats}")
+    assert stats.num_constraints > 0

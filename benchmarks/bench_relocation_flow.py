@@ -1,0 +1,75 @@
+"""RT experiment: end-to-end bitstream relocation throughput.
+
+Measures the simulated configuration path (bitstream generation, the
+relocation filter, configuration-memory writes) on a floorplan produced with
+relocation constraints — the executable version of the paper's motivating
+scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitstream import generate_bitstream, relocate_bitstream
+from repro.device.catalog import synthetic_device
+from repro.device.partition import columnar_partition
+from repro.device.resources import ResourceVector
+from repro.floorplan import FloorplanSolver, Rect
+from repro.floorplan.problem import FloorplanProblem, Region
+from repro.milp import SolverOptions
+from repro.relocation import RelocationSpec
+from repro.runtime import ReconfigurationManager, round_robin_schedule
+
+
+@pytest.fixture(scope="module")
+def relocation_floorplan():
+    device = synthetic_device(12, 5, bram_every=4, dsp_every=9, name="rt-dev")
+    problem = FloorplanProblem(
+        device,
+        [
+            Region("filter", ResourceVector(CLB=4)),
+            Region("decoder", ResourceVector(CLB=2, BRAM=1)),
+        ],
+        name="rt",
+    )
+    spec = RelocationSpec.as_constraint({"filter": 1, "decoder": 1})
+    report = FloorplanSolver(
+        problem, relocation=spec, options=SolverOptions(time_limit=60, mip_gap=0.02)
+    ).solve()
+    assert report.feasible
+    return report.floorplan
+
+
+def test_bitstream_generation_throughput(benchmark):
+    device = synthetic_device(16, 8, bram_every=5, dsp_every=9, name="gen-dev")
+    rect = Rect(0, 0, 4, 4)
+    bitstream = benchmark(generate_bitstream, device, rect, "throughput-module")
+    assert bitstream.is_crc_valid()
+
+
+def test_relocation_filter_throughput(benchmark):
+    device = synthetic_device(16, 8, bram_every=5, dsp_every=9, name="filter-dev")
+    partition = columnar_partition(device)
+    source = generate_bitstream(device, Rect(0, 0, 3, 3), "reloc-module")
+    relocated = benchmark(relocate_bitstream, source, Rect(0, 4, 3, 3), device, partition)
+    assert relocated.is_crc_valid()
+
+
+def test_runtime_schedule_replay(benchmark, relocation_floorplan):
+    """Replay a mode schedule and relocate each region once."""
+
+    def run():
+        manager = ReconfigurationManager(relocation_floorplan)
+        schedule = round_robin_schedule(list(relocation_floorplan.placements), rounds=2)
+        for region, mode in schedule:
+            manager.reconfigure(region, mode)
+        for region in relocation_floorplan.placements:
+            if manager.available_relocation_targets(region):
+                manager.relocate(region)
+        return manager
+
+    manager = benchmark.pedantic(run, iterations=1, rounds=3)
+    summary = manager.trace.summary()
+    print(f"\nruntime trace: {summary}")
+    assert summary["relocate"] == len(relocation_floorplan.placements)
+    assert summary["frames_written"] > 0

@@ -1,0 +1,115 @@
+"""Table II and Figures 4-5: the headline comparison and the resulting floorplans.
+
+Table II of the paper:
+
+    Algorithm  Design  Free-compatible areas  Wasted frames
+    [8]        SDR     0                      466
+    [10]       SDR     0                      306
+    PA         SDR2    6                      306
+    PA         SDR3    9                      346
+
+The reproduction targets the *shape* of the table (see EXPERIMENTS.md):
+the greedy tessellation baseline wastes clearly more frames than the MILP,
+SDR2 reserves all six areas at little or no extra waste, and SDR3 costs more
+than SDR2.  Absolute values differ because the device model is synthetic and
+the MILP runs under a benchmark time limit rather than for hours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, render_floorplan
+from repro.analysis.report import TABLE2_HEADERS, table2_rows
+from repro.baselines import tessellation_floorplan
+from repro.floorplan.metrics import evaluate_floorplan
+from repro.floorplan.verify import verify_floorplan
+
+
+@pytest.fixture(scope="module")
+def vipin_baseline(sdr):
+    """The [8]-style architecture-aware tessellation heuristic on the SDR."""
+    floorplan = tessellation_floorplan(sdr)
+    assert floorplan is not None and floorplan.is_complete
+    return floorplan
+
+
+def test_table2_row_vipin_baseline(benchmark, sdr):
+    floorplan = benchmark(tessellation_floorplan, sdr)
+    assert floorplan is not None
+    metrics = evaluate_floorplan(floorplan)
+    assert verify_floorplan(floorplan, check_relocation=False).is_feasible
+    assert metrics.wasted_frames > 0
+
+
+def test_table2_row_milp_base(benchmark, sdr_base_report, vipin_baseline):
+    """[10]-style MILP on the original SDR: fewer wasted frames than [8]."""
+    metrics = benchmark(evaluate_floorplan, sdr_base_report.floorplan)
+    baseline_metrics = evaluate_floorplan(vipin_baseline)
+    assert sdr_base_report.solution.status.has_solution
+    assert sdr_base_report.verification.is_feasible
+    assert metrics.free_compatible_areas == 0
+    assert metrics.wasted_frames < baseline_metrics.wasted_frames, (
+        "the exact floorplanner must beat the tessellation heuristic on wasted frames"
+    )
+
+
+def test_table2_row_pa_sdr2(benchmark, sdr_base_report, sdr2_report):
+    """PA on SDR2: all six areas reserved with a small impact on wasted frames."""
+    metrics = benchmark(evaluate_floorplan, sdr2_report.floorplan)
+    assert sdr2_report.solution.status.has_solution
+    assert sdr2_report.verification.is_feasible
+    assert metrics.free_compatible_areas == 6
+    base = evaluate_floorplan(sdr_base_report.floorplan)
+    # "small impact on the solution cost": allow a modest overhead, never a free lunch
+    assert metrics.wasted_frames >= base.wasted_frames - 1e-6
+    assert metrics.wasted_frames <= base.wasted_frames + 600
+
+
+def test_table2_row_pa_sdr3(benchmark, sdr2_report, sdr3_report):
+    """PA on SDR3 (soft mode within the benchmark budget): more areas cost more."""
+    metrics = benchmark(evaluate_floorplan, sdr3_report.floorplan)
+    assert sdr3_report.solution.status.has_solution
+    sdr2_metrics = evaluate_floorplan(sdr2_report.floorplan)
+    print(f"\nSDR3 (soft, within budget): {metrics.free_compatible_areas}/9 areas, "
+          f"{metrics.wasted_frames} wasted frames "
+          f"(SDR2: 6/6 areas, {sdr2_metrics.wasted_frames} wasted frames). "
+          "Raise REPRO_BENCH_SDR3_TIME_LIMIT to recover more areas.")
+    # the paper's relationship: SDR3 never costs less than SDR2 (346 vs 306);
+    # the number of areas recovered depends on the time budget, so it is
+    # reported rather than asserted
+    assert metrics.free_compatible_areas >= 0
+    assert metrics.wasted_frames >= sdr2_metrics.wasted_frames - 1e-6
+
+
+def test_table2_summary(benchmark, sdr, sdr_base_report, sdr2_report, sdr3_report, vipin_baseline):
+    entries = {
+        "[8]-proxy (tessellation)": ("SDR", vipin_baseline),
+        "[10]-proxy (MILP, HO)": ("SDR", sdr_base_report.floorplan),
+        "PA (this work)": ("SDR2", sdr2_report.floorplan),
+        "PA (this work, soft)": ("SDR3", sdr3_report.floorplan),
+    }
+    rows = benchmark(table2_rows, entries)
+    print("\n" + format_table(TABLE2_HEADERS, rows, title="Table II (regenerated)"))
+    waste = {label: row[3] for label, row in zip(entries, rows)}
+    assert waste["[10]-proxy (MILP, HO)"] < waste["[8]-proxy (tessellation)"]
+    assert waste["PA (this work, soft)"] >= waste["PA (this work)"]
+
+
+# ----------------------------------------------------------------------
+# Figures 4 and 5 — the floorplans themselves
+# ----------------------------------------------------------------------
+def test_fig4_sdr2_floorplan(benchmark, sdr2_report):
+    text = benchmark(render_floorplan, sdr2_report.floorplan)
+    print("\nFigure 4 (regenerated): SDR2 floorplan")
+    print(text)
+    assert "free-compatible areas:" in text
+    assert sdr2_report.floorplan.num_free_compatible_areas == 6
+
+
+def test_fig5_sdr3_floorplan(benchmark, sdr3_report):
+    text = benchmark(render_floorplan, sdr3_report.floorplan)
+    print("\nFigure 5 (regenerated): SDR3 floorplan "
+          f"({sdr3_report.floorplan.num_free_compatible_areas} of 9 areas within budget)")
+    print(text)
+    assert "regions:" in text

@@ -1,0 +1,75 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Every expensive MILP solve is session-scoped, so a full ``pytest benchmarks/
+--benchmark-only`` run performs each headline solve exactly once and the
+benchmark timers measure the cheap, repeatable parts (model building,
+compatibility checks, rendering, relocation filtering).
+
+Environment knobs:
+
+``REPRO_BENCH_TIME_LIMIT``
+    Per-solve MILP time limit in seconds (default 90).  The paper let the
+    solver run for hours; raise this to push the SDR2/SDR3 solutions closer to
+    optimality.
+``REPRO_BENCH_SDR3_TIME_LIMIT``
+    Time limit for the (much harder) SDR3 instance (default 180).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.floorplan import FloorplanSolver, ObjectiveWeights
+from repro.milp import SolverOptions
+from repro.workloads import sdr_problem, sdr2_spec, sdr3_spec
+
+
+def bench_time_limit(default: float = 90.0) -> float:
+    return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", default))
+
+
+def sdr3_time_limit(default: float = 180.0) -> float:
+    return float(os.environ.get("REPRO_BENCH_SDR3_TIME_LIMIT", default))
+
+
+@pytest.fixture(scope="session")
+def sdr():
+    """The full SDR floorplanning instance on the Virtex-5-like device."""
+    return sdr_problem()
+
+
+@pytest.fixture(scope="session")
+def bench_options():
+    return SolverOptions(time_limit=bench_time_limit(), mip_gap=0.02)
+
+
+@pytest.fixture(scope="session")
+def sdr_base_report(sdr, bench_options):
+    """[10]-style solve of the original SDR design (no relocation), HO mode."""
+    solver = FloorplanSolver(sdr, mode="HO", options=bench_options)
+    return solver.solve(weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0))
+
+
+@pytest.fixture(scope="session")
+def sdr2_report(sdr, bench_options):
+    """PA on SDR2: two hard free-compatible areas per relocatable region."""
+    solver = FloorplanSolver(sdr, relocation=sdr2_spec(), mode="HO", options=bench_options)
+    return solver.solve(weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0))
+
+
+@pytest.fixture(scope="session")
+def sdr3_report(sdr):
+    """PA on SDR3, run as relocation-as-a-metric (see EXPERIMENTS.md).
+
+    The SDR3-as-hard-constraint instance needs an O-mode solve far beyond the
+    default benchmark budget (the paper itself ran 6 hours without proving
+    optimality); the soft-constraint run reports how many of the nine areas
+    were obtained within the budget.
+    """
+    options = SolverOptions(time_limit=sdr3_time_limit(), mip_gap=0.02)
+    solver = FloorplanSolver(sdr, relocation=sdr3_spec(hard=False), mode="HO", options=options)
+    return solver.solve(
+        weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0, relocation=1.0)
+    )

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""End-to-end relocation flow: floorplan -> bitstreams -> run-time relocation.
+
+Shows the full story the paper's introduction motivates:
+
+1. the relocation-aware floorplanner reserves free-compatible areas;
+2. partial bitstreams are generated for each region's home placement;
+3. at "run time" a module is relocated into its reserved area by rewriting
+   frame addresses and recomputing the CRC — and the configuration memory
+   readback proves the payload arrived intact.
+"""
+
+from repro import (
+    Connection,
+    FloorplanProblem,
+    FloorplanSolver,
+    Region,
+    RelocationSpec,
+    ResourceVector,
+    SolverOptions,
+    render_floorplan,
+    synthetic_device,
+)
+from repro.runtime import ReconfigurationManager, round_robin_schedule
+
+
+def main() -> None:
+    device = synthetic_device(width=12, height=6, bram_every=4, dsp_every=9,
+                              name="flow-device")
+    regions = [
+        Region("codec", ResourceVector(CLB=4, BRAM=1)),
+        Region("crypto", ResourceVector(CLB=3)),
+    ]
+    problem = FloorplanProblem(
+        device, regions, [Connection("codec", "crypto", weight=8)], name="relocation-flow"
+    )
+    spec = RelocationSpec.as_constraint({"codec": 1, "crypto": 1})
+    report = FloorplanSolver(
+        problem, relocation=spec, options=SolverOptions(time_limit=60, mip_gap=0.02)
+    ).solve()
+    print(render_floorplan(report.floorplan))
+    print()
+
+    manager = ReconfigurationManager(report.floorplan)
+
+    # cycle both regions through a few modes, then relocate each once
+    for region, mode in round_robin_schedule(["codec", "crypto"], rounds=2):
+        bitstream = manager.reconfigure(region, mode)
+        print(f"configured {region} with {mode}: {bitstream.num_frames} frames "
+              f"(crc 0x{bitstream.crc:08x})")
+
+    for region in ("codec", "crypto"):
+        targets = manager.available_relocation_targets(region)
+        print(f"\n{region}: {len(targets)} reserved relocation target(s)")
+        relocated = manager.relocate(region)
+        print(f"  relocated to {relocated.anchor} (new crc 0x{relocated.crc:08x}); "
+              f"memory verified: {manager.memory.verify(relocated)}")
+
+    print("\nrun-time trace summary:", manager.trace.summary())
+
+
+if __name__ == "__main__":
+    main()

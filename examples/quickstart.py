@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: place three regions and reserve a relocation area for one of them.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Connection,
+    FloorplanProblem,
+    FloorplanSolver,
+    Region,
+    RelocationSpec,
+    ResourceVector,
+    SolverOptions,
+    render_floorplan,
+    synthetic_device,
+)
+
+
+def main() -> None:
+    # 1. describe the device: a small columnar FPGA with CLB/BRAM/DSP columns
+    device = synthetic_device(width=12, height=5, bram_every=4, dsp_every=9,
+                              name="quickstart-device")
+
+    # 2. describe the design: three reconfigurable regions and their bus
+    regions = [
+        Region("filter", ResourceVector(CLB=6)),
+        Region("fft", ResourceVector(CLB=3, DSP=1)),
+        Region("decoder", ResourceVector(CLB=2, BRAM=1)),
+    ]
+    connections = [
+        Connection("filter", "fft", weight=32),
+        Connection("fft", "decoder", weight=32),
+    ]
+    problem = FloorplanProblem(device, regions, connections, name="quickstart")
+
+    # 3. ask for one free-compatible (relocation) area for the decoder
+    spec = RelocationSpec.as_constraint({"decoder": 1})
+
+    # 4. solve and inspect
+    solver = FloorplanSolver(problem, relocation=spec,
+                             options=SolverOptions(time_limit=60, mip_gap=0.02))
+    report = solver.solve()
+
+    print(report.summary())
+    print()
+    print(render_floorplan(report.floorplan))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The SDR case study of Section VI, scaled to run in a couple of minutes.
+
+Reproduces, on the Virtex-5 FX70T-like device:
+
+* Table I (resource requirements and frame counts);
+* the SDR2 instance — two free-compatible areas for every relocatable region —
+  solved in HO mode (Figure 4's floorplan is printed as ASCII art).
+
+For the full Table II comparison (including the [8]-style baseline and SDR3)
+run the benchmark harness instead::
+
+    pytest benchmarks/bench_table2_and_floorplans.py --benchmark-only -s
+"""
+
+from repro import FloorplanSolver, ObjectiveWeights, SolverOptions, render_floorplan
+from repro.analysis import format_table
+from repro.analysis.report import TABLE1_HEADERS, table1_rows
+from repro.floorplan.metrics import evaluate_floorplan
+from repro.workloads import sdr_problem, sdr2_spec
+
+
+def main() -> None:
+    problem = sdr_problem()
+
+    print(format_table(TABLE1_HEADERS, table1_rows(problem), title="Table I"))
+    print()
+
+    solver = FloorplanSolver(
+        problem,
+        relocation=sdr2_spec(),
+        mode="HO",
+        options=SolverOptions(time_limit=120, mip_gap=0.02),
+    )
+    report = solver.solve(weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0))
+
+    metrics = evaluate_floorplan(report.floorplan)
+    print(f"SDR2 ({report.solution.status.value} in {report.solution.solve_time:.1f}s): "
+          f"{metrics.free_compatible_areas} free-compatible areas, "
+          f"{metrics.wasted_frames} wasted frames, wirelength {metrics.wirelength:.0f}")
+    print()
+    print(render_floorplan(report.floorplan))
+
+
+if __name__ == "__main__":
+    main()

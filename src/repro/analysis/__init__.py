@@ -1,0 +1,13 @@
+"""Rendering and reporting helpers (the textual Figures and Tables)."""
+
+from repro.analysis.render import render_device, render_floorplan, render_partition
+from repro.analysis.report import format_table, table1_rows, table2_rows
+
+__all__ = [
+    "render_device",
+    "render_partition",
+    "render_floorplan",
+    "format_table",
+    "table1_rows",
+    "table2_rows",
+]

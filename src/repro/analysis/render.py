@@ -1,0 +1,166 @@
+"""ASCII rendering of devices, partitions and floorplans.
+
+The paper's Figures 1-5 are drawings of tile grids with coloured areas; the
+renderers below produce the same information as monospace text so that the
+benchmark harness can print the floorplans of Figures 4 and 5 directly to the
+terminal (and the tests can assert on their content).
+
+Rendering conventions:
+
+* rows are printed top-to-bottom (row ``height-1`` first), matching the usual
+  die-plot orientation;
+* each tile shows either the tile-type letter (lower case) for unoccupied
+  fabric, ``#`` for forbidden tiles, a region letter (upper case) for tiles of
+  a reconfigurable region, or a digit-suffixed letter for free-compatible
+  areas; the legend below the grid maps letters back to names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.device.grid import FPGADevice
+from repro.device.partition import ColumnarPartition
+from repro.floorplan.placement import Floorplan
+
+
+def render_device(device: FPGADevice, cell_width: int = 2) -> str:
+    """Render the raw tile grid (tile-type initial letters, ``#`` forbidden)."""
+    lines: List[str] = []
+    for row in range(device.height - 1, -1, -1):
+        cells = []
+        for col in range(device.width):
+            if device.is_forbidden(col, row):
+                symbol = "#"
+            else:
+                symbol = device.tile_type_at(col, row).name[0].lower()
+            cells.append(symbol.ljust(cell_width))
+        lines.append("".join(cells).rstrip())
+    legend = ", ".join(
+        f"{t.name[0].lower()}={t.name}" for t in device.tile_type_list
+    )
+    lines.append(f"legend: {legend}, #=forbidden")
+    return "\n".join(lines)
+
+
+def render_partition(partition: ColumnarPartition, cell_width: int = 3) -> str:
+    """Render the columnar partition: portion indices plus forbidden overlay.
+
+    Reproduces the information of Figure 2c/2d: each column is labelled with
+    the index of the portion it belongs to, forbidden cells with ``#``.
+    """
+    lines: List[str] = []
+    for row in range(partition.height - 1, -1, -1):
+        cells = []
+        for col in range(partition.width):
+            if partition.is_forbidden_cell(col, row):
+                symbol = "#"
+            else:
+                symbol = str(partition.portion_of_column(col).index)
+            cells.append(symbol.ljust(cell_width))
+        lines.append("".join(cells).rstrip())
+    legend_parts = [
+        f"{p.index}:{p.tile_type.name}[{p.col_start}..{p.col_end}]"
+        for p in partition.portions
+    ]
+    lines.append("portions: " + ", ".join(legend_parts))
+    if partition.forbidden_areas:
+        lines.append(
+            "forbidden: "
+            + ", ".join(
+                f"{a.name}[cols {a.col_start}..{a.col_end}, rows {sorted(a.rows)}]"
+                for a in partition.forbidden_areas
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_floorplan(
+    floorplan: Floorplan,
+    cell_width: int = 3,
+    show_free_areas: bool = True,
+) -> str:
+    """Render a solved floorplan (the textual analogue of Figures 4 and 5)."""
+    device = floorplan.device
+    labels: Dict[str, str] = {}
+    grid: List[List[Optional[str]]] = [
+        [None] * device.height for _ in range(device.width)
+    ]
+
+    def assign_label(name: str, is_free: bool, index: int) -> str:
+        base = "".join(word[0] for word in name.split() if word[0].isalpha()).upper()
+        if not base:
+            base = name[:2].upper()
+        label = base if not is_free else f"{base.lower()}"
+        # disambiguate duplicates with a counter
+        candidate = label
+        suffix = 1
+        while candidate in labels.values():
+            suffix += 1
+            candidate = f"{label}{suffix}"
+        labels[name] = candidate
+        return candidate
+
+    for index, (name, placement) in enumerate(sorted(floorplan.placements.items())):
+        label = assign_label(name, is_free=False, index=index)
+        for col, row in placement.rect.cells():
+            grid[col][row] = label
+    if show_free_areas:
+        for index, (name, placement) in enumerate(sorted(floorplan.free_areas.items())):
+            if not placement.satisfied:
+                continue
+            label = assign_label(name, is_free=True, index=index)
+            for col, row in placement.rect.cells():
+                grid[col][row] = label
+
+    lines: List[str] = []
+    for row in range(device.height - 1, -1, -1):
+        cells = []
+        for col in range(device.width):
+            if grid[col][row] is not None:
+                symbol = grid[col][row]
+            elif device.is_forbidden(col, row):
+                symbol = "#"
+            else:
+                symbol = device.tile_type_at(col, row).name[0].lower() if cell_width > 1 else "."
+            cells.append(str(symbol).ljust(cell_width))
+        lines.append("".join(cells).rstrip())
+
+    lines.append("")
+    lines.append("regions:")
+    for name, placement in sorted(floorplan.placements.items()):
+        lines.append(f"  {labels.get(name, '?'):>4}  {name}  at {placement.rect}")
+    if show_free_areas and floorplan.free_areas:
+        lines.append("free-compatible areas:")
+        for name, placement in sorted(floorplan.free_areas.items()):
+            status = "" if placement.satisfied else "  [NOT SATISFIED]"
+            label = labels.get(name, "-")
+            lines.append(
+                f"  {label:>4}  {name} (for {placement.compatible_with})  at {placement.rect}{status}"
+            )
+    return "\n".join(lines)
+
+
+def render_rect_overlay(
+    device: FPGADevice, rects: Dict[str, "object"], cell_width: int = 3
+) -> str:
+    """Render arbitrary named rectangles over the device (Figure 1 style)."""
+    grid: List[List[Optional[str]]] = [
+        [None] * device.height for _ in range(device.width)
+    ]
+    for label, rect in rects.items():
+        for col, row in rect.cells():  # type: ignore[attr-defined]
+            grid[col][row] = label[:cell_width - 1] or label
+    lines: List[str] = []
+    for row in range(device.height - 1, -1, -1):
+        cells = []
+        for col in range(device.width):
+            if grid[col][row] is not None:
+                symbol = grid[col][row]
+            elif device.is_forbidden(col, row):
+                symbol = "#"
+            else:
+                symbol = device.tile_type_at(col, row).name[0].lower()
+            cells.append(str(symbol).ljust(cell_width))
+        lines.append("".join(cells).rstrip())
+    return "\n".join(lines)

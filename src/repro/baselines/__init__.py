@@ -1,0 +1,25 @@
+"""Heuristic floorplanners used as baselines and as HO seeds.
+
+* :mod:`~repro.baselines.first_fit` — a simple greedy packer; fast, used to
+  seed the HO mode and as a sanity baseline;
+* :mod:`~repro.baselines.tessellation` — an architecture-aware,
+  reconfiguration-centric greedy tessellation in the spirit of Vipin & Fahmy
+  (reference [8] of the paper), whose wasted-frame count is the first row of
+  Table II;
+* :mod:`~repro.baselines.annealing` — a simulated-annealing floorplanner in
+  the spirit of Bolchini et al. (reference [9]), used in the ablation
+  benchmarks and as an alternative HO seed.
+"""
+
+from repro.baselines.first_fit import first_fit_floorplan
+from repro.baselines.tessellation import tessellation_floorplan
+from repro.baselines.annealing import AnnealingOptions, annealing_floorplan
+from repro.baselines.relocation_greedy import relocation_aware_greedy
+
+__all__ = [
+    "first_fit_floorplan",
+    "tessellation_floorplan",
+    "annealing_floorplan",
+    "AnnealingOptions",
+    "relocation_aware_greedy",
+]

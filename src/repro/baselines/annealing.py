@@ -1,0 +1,221 @@
+"""Simulated-annealing floorplanner (reference [9]).
+
+Bolchini, Miele and Sandionigi's resource-aware floorplanner explores
+placements with simulated annealing, primarily minimizing wirelength while
+keeping resource feasibility.  This module provides an equivalent baseline:
+
+* the state is one rectangle per region;
+* moves translate, resize or re-anchor a randomly chosen region;
+* the cost blends hard-constraint penalties (overlaps, forbidden cells,
+  resource deficits) with wasted frames and weighted wirelength, so the
+  annealer first repairs feasibility and then polishes quality.
+
+The annealer never uses wall-clock time or global randomness — everything is
+driven by an explicit ``numpy`` generator seed, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.packing import first_rect, rect_frames, rect_resources, sort_regions_by_demand
+from repro.floorplan.geometry import Rect, manhattan
+from repro.floorplan.placement import Floorplan, RegionPlacement
+from repro.floorplan.problem import FloorplanProblem, Region
+
+
+@dataclasses.dataclass
+class AnnealingOptions:
+    """Tuning knobs of the simulated-annealing baseline."""
+
+    iterations: int = 20_000
+    initial_temperature: float = 50.0
+    cooling: float = 0.999
+    seed: int = 0
+    overlap_penalty: float = 500.0
+    deficit_penalty: float = 500.0
+    forbidden_penalty: float = 500.0
+    wasted_frame_weight: float = 1.0
+    wirelength_weight: float = 0.2
+
+
+def annealing_floorplan(
+    problem: FloorplanProblem,
+    options: AnnealingOptions | None = None,
+) -> Optional[Floorplan]:
+    """Anneal a placement for every region of ``problem``.
+
+    Returns ``None`` only when even the initial construction fails; otherwise
+    the best feasible state seen is returned (or the best infeasible state,
+    flagged through ``solver_status``, when feasibility was never reached).
+    """
+    options = options or AnnealingOptions()
+    start = time.perf_counter()
+    rng = np.random.default_rng(options.seed)
+    device = problem.device
+    regions = list(problem.regions)
+
+    state = _initial_state(problem, rng)
+    if state is None:
+        return None
+
+    evaluator = _CostEvaluator(problem, options)
+    current_cost = evaluator.cost(state)
+    best_state = dict(state)
+    best_cost = current_cost
+    best_feasible: Optional[Dict[str, Rect]] = None
+    best_feasible_cost = math.inf
+    if evaluator.is_feasible(state):
+        best_feasible, best_feasible_cost = dict(state), current_cost
+
+    temperature = options.initial_temperature
+    region_names = [region.name for region in regions]
+
+    for _ in range(options.iterations):
+        name = region_names[int(rng.integers(len(region_names)))]
+        candidate_rect = _propose(state[name], device.width, device.height, rng)
+        if candidate_rect is None:
+            continue
+        old_rect = state[name]
+        state[name] = candidate_rect
+        candidate_cost = evaluator.cost(state)
+        delta = candidate_cost - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            current_cost = candidate_cost
+            if candidate_cost < best_cost:
+                best_cost = candidate_cost
+                best_state = dict(state)
+            if candidate_cost < best_feasible_cost and evaluator.is_feasible(state):
+                best_feasible_cost = candidate_cost
+                best_feasible = dict(state)
+        else:
+            state[name] = old_rect
+        temperature *= options.cooling
+
+    chosen = best_feasible if best_feasible is not None else best_state
+    status = "annealing" if best_feasible is not None else "annealing-infeasible"
+    floorplan = Floorplan(problem=problem, solver_status=status)
+    for name, rect in chosen.items():
+        floorplan.placements[name] = RegionPlacement(name=name, rect=rect)
+    floorplan.solve_time = time.perf_counter() - start
+    floorplan.metadata["iterations"] = options.iterations
+    floorplan.metadata["final_cost"] = best_feasible_cost if best_feasible else best_cost
+    return floorplan
+
+
+# ----------------------------------------------------------------------
+def _initial_state(problem: FloorplanProblem, rng: np.random.Generator) -> Optional[Dict[str, Rect]]:
+    """Greedy construction, falling back to random rectangles when stuck."""
+    device = problem.device
+    occupied: List[Rect] = []
+    state: Dict[str, Rect] = {}
+    for region in sort_regions_by_demand(problem.regions):
+        rect = first_rect(device, region, occupied)
+        if rect is None:
+            # random rectangle roughly sized for the demand; the annealer will repair it
+            height = int(rng.integers(1, device.height + 1))
+            width = max(1, math.ceil(region.total_tiles / height))
+            width = min(width, device.width)
+            col = int(rng.integers(0, device.width - width + 1))
+            row = int(rng.integers(0, device.height - height + 1))
+            rect = Rect(col, row, width, height)
+        occupied.append(rect)
+        state[region.name] = rect
+    return state
+
+
+def _propose(
+    rect: Rect, device_width: int, device_height: int, rng: np.random.Generator
+) -> Optional[Rect]:
+    """Random neighbourhood move: translate, resize or re-anchor."""
+    move = rng.integers(3)
+    if move == 0:  # translate
+        dcol = int(rng.integers(-2, 3))
+        drow = int(rng.integers(-2, 3))
+        candidate = Rect(rect.col + dcol, rect.row + drow, rect.width, rect.height)
+    elif move == 1:  # resize (keep the anchor)
+        dw = int(rng.integers(-1, 2))
+        dh = int(rng.integers(-1, 2))
+        candidate = Rect(rect.col, rect.row, max(1, rect.width + dw), max(1, rect.height + dh))
+    else:  # re-anchor anywhere with the same shape
+        col = int(rng.integers(0, max(1, device_width - rect.width + 1)))
+        row = int(rng.integers(0, max(1, device_height - rect.height + 1)))
+        candidate = Rect(col, row, rect.width, rect.height)
+    if not candidate.within(device_width, device_height):
+        return None
+    return candidate
+
+
+class _CostEvaluator:
+    """Penalized cost of a (possibly infeasible) placement state."""
+
+    def __init__(self, problem: FloorplanProblem, options: AnnealingOptions) -> None:
+        self.problem = problem
+        self.options = options
+        self.device = problem.device
+        self.regions: Dict[str, Region] = {r.name: r for r in problem.regions}
+        self.required_frames = {
+            r.name: problem.required_frames(r) for r in problem.regions
+        }
+
+    # ------------------------------------------------------------------
+    def cost(self, state: Dict[str, Rect]) -> float:
+        options = self.options
+        overlap = 0
+        rects = list(state.items())
+        for i, (_, first) in enumerate(rects):
+            for _, second in rects[i + 1 :]:
+                overlap += first.intersection_area(second)
+
+        forbidden = 0
+        deficit_total = 0
+        wasted = 0
+        for name, rect in state.items():
+            region = self.regions[name]
+            for col, row in rect.cells():
+                if self.device.is_forbidden(col, row):
+                    forbidden += 1
+            covered = rect_resources(self.device, rect)
+            deficit_total += covered.deficit(region.requirements).total
+            wasted += max(0, rect_frames(self.device, rect) - self.required_frames[name])
+
+        wirelength = 0.0
+        for connection in self.problem.connections:
+            centers = []
+            for endpoint in connection.endpoints():
+                if endpoint in state:
+                    centers.append(state[endpoint].center)
+                else:
+                    pin = self.problem.pin_by_name(endpoint)
+                    centers.append(pin.center)
+            wirelength += connection.weight * manhattan(centers[0], centers[1])
+
+        return (
+            options.overlap_penalty * overlap
+            + options.forbidden_penalty * forbidden
+            + options.deficit_penalty * deficit_total
+            + options.wasted_frame_weight * wasted
+            + options.wirelength_weight * wirelength
+        )
+
+    def is_feasible(self, state: Dict[str, Rect]) -> bool:
+        rects = list(state.values())
+        for i, first in enumerate(rects):
+            for second in rects[i + 1 :]:
+                if first.overlaps(second):
+                    return False
+        for name, rect in state.items():
+            region = self.regions[name]
+            if not rect.within(self.device.width, self.device.height):
+                return False
+            for col, row in rect.cells():
+                if self.device.is_forbidden(col, row):
+                    return False
+            if not rect_resources(self.device, rect).covers(region.requirements):
+                return False
+        return True

@@ -1,0 +1,166 @@
+"""Shared helpers for the greedy baseline floorplanners."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.device.grid import FPGADevice
+from repro.device.resources import ResourceVector
+from repro.floorplan.geometry import Rect
+from repro.floorplan.problem import Region
+
+
+def rect_is_free(device: FPGADevice, rect: Rect, occupied: Sequence[Rect]) -> bool:
+    """Whether a rectangle fits the device, avoids forbidden cells and overlaps."""
+    if not rect.within(device.width, device.height):
+        return False
+    for other in occupied:
+        if rect.overlaps(other):
+            return False
+    for col, row in rect.cells():
+        if device.is_forbidden(col, row):
+            return False
+    return True
+
+
+def rect_resources(device: FPGADevice, rect: Rect) -> ResourceVector:
+    """Resources covered by a rectangle."""
+    total = ResourceVector.zero()
+    for col, row in rect.cells():
+        total = total + device.tile_type_at(col, row).resources
+    return total
+
+
+def rect_frames(device: FPGADevice, rect: Rect) -> int:
+    """Configuration frames covered by a rectangle."""
+    return sum(device.tile_type_at(col, row).frames for col, row in rect.cells())
+
+
+def rect_satisfies(device: FPGADevice, rect: Rect, region: Region) -> bool:
+    """Whether a rectangle covers the region's resource requirements."""
+    if region.max_width is not None and rect.width > region.max_width:
+        return False
+    if region.max_height is not None and rect.height > region.max_height:
+        return False
+    return rect_resources(device, rect).covers(region.requirements)
+
+
+def iter_feasible_rects(
+    device: FPGADevice,
+    region: Region,
+    occupied: Sequence[Rect],
+    heights: Iterable[int] | None = None,
+    align_rows: bool = False,
+) -> Iterator[Rect]:
+    """Enumerate feasible rectangles for a region.
+
+    Candidates are generated column-first (left to right), then by row, then by
+    height; for each anchor the width grows until the requirement is met, so
+    the yielded rectangle is the narrowest satisfying one at that anchor.
+
+    Parameters
+    ----------
+    heights:
+        Candidate heights to try (defaults to every height from the device
+        height down to 1).
+    align_rows:
+        Restrict anchors to rows that are multiples of the candidate height
+        (the "kernel tessellation" style alignment used by the
+        reconfiguration-centric baseline).
+    """
+    height_options = list(heights) if heights is not None else list(range(device.height, 0, -1))
+    for col in range(device.width):
+        for h in height_options:
+            if h <= 0 or h > device.height:
+                continue
+            row_candidates = (
+                range(0, device.height - h + 1, h)
+                if align_rows
+                else range(0, device.height - h + 1)
+            )
+            for row in row_candidates:
+                for width in range(1, device.width - col + 1):
+                    rect = Rect(col, row, width, h)
+                    if not rect_is_free(device, rect, occupied):
+                        break  # growing wider keeps the conflict
+                    if rect_satisfies(device, rect, region):
+                        yield rect
+                        break  # wider rectangles only add waste at this anchor
+
+
+def best_rect(
+    device: FPGADevice,
+    region: Region,
+    occupied: Sequence[Rect],
+    heights: Iterable[int] | None = None,
+    align_rows: bool = False,
+) -> Rect | None:
+    """The feasible rectangle with the fewest covered frames (ties: leftmost)."""
+    best: Rect | None = None
+    best_key: tuple | None = None
+    for rect in iter_feasible_rects(device, region, occupied, heights, align_rows):
+        key = (rect_frames(device, rect), rect.col, rect.row)
+        if best_key is None or key < best_key:
+            best, best_key = rect, key
+    return best
+
+
+def first_rect(
+    device: FPGADevice,
+    region: Region,
+    occupied: Sequence[Rect],
+    heights: Iterable[int] | None = None,
+) -> Rect | None:
+    """The first feasible rectangle in scan order (true first-fit)."""
+    for rect in iter_feasible_rects(device, region, occupied, heights):
+        return rect
+    return None
+
+
+def sort_regions_by_demand(regions: Sequence[Region]) -> List[Region]:
+    """Regions sorted by decreasing total tile demand (big rocks first)."""
+    return sorted(regions, key=lambda r: r.total_tiles, reverse=True)
+
+
+def sort_regions_by_scarcity(
+    device: FPGADevice, regions: Sequence[Region]
+) -> List[Region]:
+    """Regions sorted so that those needing the scarcest resources go first.
+
+    Scarcity of a resource type is the aggregate demand divided by the device
+    capacity; a region's key is the highest scarcity among the types it needs.
+    Placing scarce-resource regions first keeps the few BRAM/DSP columns from
+    being swallowed by large CLB-dominated regions — the failure mode of a
+    plain biggest-first order on column-sparse devices.
+    """
+    capacity = device.total_resources()
+    demand = ResourceVector.zero()
+    for region in regions:
+        demand = demand + region.requirements
+    scarcity = {
+        rtype: (demand.get(rtype) / capacity.get(rtype)) if capacity.get(rtype) else 1.0
+        for rtype, _ in demand
+    }
+
+    def key(region: Region) -> tuple:
+        needed = [scarcity[rtype] for rtype, count in region.requirements if count > 0]
+        return (max(needed) if needed else 0.0, region.total_tiles)
+
+    return sorted(regions, key=key, reverse=True)
+
+
+def candidate_orders(device: FPGADevice, regions: Sequence[Region]) -> List[List[Region]]:
+    """Placement orders worth trying, most promising first, without duplicates."""
+    orders = [
+        sort_regions_by_scarcity(device, regions),
+        sort_regions_by_demand(regions),
+        list(regions),
+    ]
+    unique: List[List[Region]] = []
+    seen: set = set()
+    for order in orders:
+        signature = tuple(region.name for region in order)
+        if signature not in seen:
+            seen.add(signature)
+            unique.append(order)
+    return unique

@@ -1,0 +1,38 @@
+"""Simulated partial bitstreams and the relocation filter.
+
+The paper positions its floorplanner as complementary to bitstream relocation
+filters (REPLICA, BiRF — references [2]–[6]): the floorplanner reserves
+free-compatible areas, a filter then retargets the configuration data at run
+time by rewriting frame addresses and recomputing the CRC.  None of those
+filters is needed to reproduce the paper's tables, but without one the
+end-to-end story ("reserve an area, later relocate the bitstream into it")
+cannot be executed.  This package therefore provides a simulated configuration
+path:
+
+* :mod:`~repro.bitstream.frames` — frame addresses and the frame layout of a
+  placed area;
+* :mod:`~repro.bitstream.crc` — a table-driven CRC-32;
+* :mod:`~repro.bitstream.bitstream` — partial-bitstream generation for a
+  region placement;
+* :mod:`~repro.bitstream.relocate` — the relocation filter (address rewrite +
+  CRC update), which refuses to retarget between non-compatible areas;
+* :mod:`~repro.bitstream.memory` — a configuration-memory model with readback,
+  used by the tests and the run-time manager to verify relocations.
+"""
+
+from repro.bitstream.frames import FrameAddress, area_frame_addresses
+from repro.bitstream.crc import crc32
+from repro.bitstream.bitstream import PartialBitstream, generate_bitstream
+from repro.bitstream.relocate import RelocationError, relocate_bitstream
+from repro.bitstream.memory import ConfigurationMemory
+
+__all__ = [
+    "FrameAddress",
+    "area_frame_addresses",
+    "crc32",
+    "PartialBitstream",
+    "generate_bitstream",
+    "RelocationError",
+    "relocate_bitstream",
+    "ConfigurationMemory",
+]

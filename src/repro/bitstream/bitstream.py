@@ -1,0 +1,135 @@
+"""Partial-bitstream generation.
+
+A :class:`PartialBitstream` is the simulated configuration data of one module
+implementation placed on a rectangle of the device: one payload word vector
+per frame, addressed by :class:`~repro.bitstream.frames.FrameAddress`, plus a
+CRC over (address, payload) pairs exactly as a configuration controller would
+check it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.bitstream.crc import crc32
+from repro.bitstream.frames import FrameAddress, area_frame_addresses
+from repro.device.grid import FPGADevice
+from repro.floorplan.geometry import Rect
+
+#: Number of 32-bit words in one configuration frame (Virtex-5 value: 41).
+WORDS_PER_FRAME = 41
+
+
+@dataclasses.dataclass
+class PartialBitstream:
+    """The configuration data of one module on one placement.
+
+    Attributes
+    ----------
+    module:
+        Name of the module/mode the bitstream implements.
+    anchor:
+        Rectangle the bitstream currently targets.
+    frames:
+        Mapping ``FrameAddress -> payload`` (tuple of 32-bit words).
+    crc:
+        CRC-32 over the (packed address, payload) stream; must match
+        :meth:`compute_crc` for the bitstream to be accepted by the
+        configuration memory.
+    device_width, device_height:
+        Grid extent used for address packing (needed by the CRC).
+    """
+
+    module: str
+    anchor: Rect
+    frames: Dict[FrameAddress, Tuple[int, ...]]
+    crc: int
+    device_width: int
+    device_height: int
+
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the bitstream."""
+        return len(self.frames)
+
+    @property
+    def size_words(self) -> int:
+        """Total payload size in 32-bit words (excluding addresses)."""
+        return sum(len(payload) for payload in self.frames.values())
+
+    def compute_crc(self) -> int:
+        """Recompute the CRC over the (address, payload) stream."""
+        payload = bytearray()
+        for address in sorted(self.frames):
+            packed = address.packed(self.device_width, self.device_height)
+            payload.extend(packed.to_bytes(8, "little"))
+            for word in self.frames[address]:
+                payload.extend(int(word).to_bytes(4, "little"))
+        return crc32(payload)
+
+    def is_crc_valid(self) -> bool:
+        """Whether the stored CRC matches the content."""
+        return self.crc == self.compute_crc()
+
+    def frame_addresses(self) -> List[FrameAddress]:
+        """Addresses in canonical (sorted) order."""
+        return sorted(self.frames)
+
+    def block_type_signature(self) -> Tuple[Tuple[int, int, str], ...]:
+        """Relative layout of the frames: (dcol, drow, block type) per tile.
+
+        Two bitstreams generated on compatible areas have identical
+        signatures; the relocation filter uses this to validate a retarget
+        without needing the device model.
+        """
+        seen = {}
+        for address in self.frames:
+            key = (address.col - self.anchor.col, address.row - self.anchor.row)
+            seen.setdefault(key, address.block_type)
+        return tuple(sorted((c, r, t) for (c, r), t in seen.items()))
+
+
+def generate_bitstream(
+    device: FPGADevice,
+    rect: Rect,
+    module: str,
+    seed: int | None = None,
+) -> PartialBitstream:
+    """Generate a simulated partial bitstream for a module placed on ``rect``.
+
+    The payload content is pseudo-random (seeded by the module name unless an
+    explicit seed is given) — its actual value is irrelevant, what matters is
+    that relocation preserves it word for word, which the tests check.
+    """
+    if not rect.within(device.width, device.height):
+        raise ValueError(f"placement {rect} is outside the device")
+    for col, row in rect.cells():
+        if device.is_forbidden(col, row):
+            raise ValueError(
+                f"placement {rect} covers forbidden cell ({col}, {row}); "
+                "no bitstream can configure a hard block"
+            )
+
+    if seed is None:
+        seed = crc32(module.encode("utf-8"))
+    rng = np.random.default_rng(seed)
+
+    frames: Dict[FrameAddress, Tuple[int, ...]] = {}
+    for address in area_frame_addresses(device, rect):
+        words = rng.integers(0, 2**32, size=WORDS_PER_FRAME, dtype=np.uint64)
+        frames[address] = tuple(int(w) for w in words)
+
+    bitstream = PartialBitstream(
+        module=module,
+        anchor=Rect(rect.col, rect.row, rect.width, rect.height),
+        frames=frames,
+        crc=0,
+        device_width=device.width,
+        device_height=device.height,
+    )
+    bitstream.crc = bitstream.compute_crc()
+    return bitstream

@@ -1,0 +1,43 @@
+"""Table-driven CRC-32 (IEEE 802.3 polynomial, bit-reflected).
+
+The configuration logic of Xilinx devices protects the bitstream with a CRC
+that must be recomputed after a relocation filter rewrites frame addresses
+(see Section I of the paper).  The exact polynomial of the hardware is not
+relevant to the simulation — what matters is that any change to the payload or
+the addresses invalidates the old checksum — so the ubiquitous CRC-32 is used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes | bytearray | Iterable[int], initial: int = 0) -> int:
+    """CRC-32 of ``data`` (optionally continuing from a previous value)."""
+    crc = initial ^ 0xFFFFFFFF
+    for byte in bytes(data):
+        crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32_of_words(words: Iterable[int], word_bytes: int = 4) -> int:
+    """CRC-32 of a sequence of little-endian fixed-width integers."""
+    payload = bytearray()
+    for word in words:
+        payload.extend(int(word).to_bytes(word_bytes, "little", signed=False))
+    return crc32(payload)

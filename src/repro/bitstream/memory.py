@@ -1,0 +1,110 @@
+"""Configuration-memory model.
+
+:class:`ConfigurationMemory` simulates the device's configuration plane: a
+store of frame payloads keyed by frame address, loaded through a port that
+checks the bitstream CRC (like the ICAP/SelectMAP controllers) and refuses to
+overwrite frames belonging to another active module.  The run-time manager and
+the end-to-end tests use it to show that relocation really moves a module's
+configuration without touching anything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bitstream.bitstream import PartialBitstream
+from repro.bitstream.frames import FrameAddress
+
+
+class ConfigurationError(RuntimeError):
+    """Raised on CRC mismatch or conflicting configuration writes."""
+
+
+class ConfigurationMemory:
+    """The simulated configuration plane of one device."""
+
+    def __init__(self, device_name: str = "device") -> None:
+        self.device_name = device_name
+        self._frames: Dict[FrameAddress, Tuple[int, ...]] = {}
+        self._owner: Dict[FrameAddress, str] = {}
+        self._loaded_modules: Dict[str, Set[FrameAddress]] = {}
+        self.write_count = 0
+        self.frame_write_count = 0
+
+    # ------------------------------------------------------------------
+    def load(self, bitstream: PartialBitstream, allow_overwrite: bool = False) -> None:
+        """Load a partial bitstream (CRC-checked) into the memory.
+
+        ``allow_overwrite`` permits reconfiguring frames currently owned by
+        another module (used when a region is intentionally reconfigured with
+        a different mode); without it, conflicting writes raise.
+        """
+        if not bitstream.is_crc_valid():
+            raise ConfigurationError(
+                f"bitstream for {bitstream.module!r} fails its CRC check"
+            )
+        conflicts = [
+            address
+            for address in bitstream.frames
+            if address in self._owner and self._owner[address] != bitstream.module
+        ]
+        if conflicts and not allow_overwrite:
+            owner = self._owner[conflicts[0]]
+            raise ConfigurationError(
+                f"{len(conflicts)} frames already configured by {owner!r}; "
+                "unload it first or pass allow_overwrite=True"
+            )
+        for address in conflicts:
+            previous = self._owner[address]
+            self._loaded_modules.get(previous, set()).discard(address)
+
+        touched: Set[FrameAddress] = set()
+        for address, payload in bitstream.frames.items():
+            self._frames[address] = payload
+            self._owner[address] = bitstream.module
+            touched.add(address)
+        existing = self._loaded_modules.setdefault(bitstream.module, set())
+        existing |= touched
+        self.write_count += 1
+        self.frame_write_count += len(bitstream.frames)
+
+    def unload(self, module: str) -> int:
+        """Remove every frame owned by ``module``; returns the frame count."""
+        addresses = self._loaded_modules.pop(module, set())
+        for address in addresses:
+            self._frames.pop(address, None)
+            self._owner.pop(address, None)
+        return len(addresses)
+
+    # ------------------------------------------------------------------
+    def readback(self, addresses: List[FrameAddress]) -> Dict[FrameAddress, Tuple[int, ...]]:
+        """Read the payload of the given frames (missing frames read as zeros)."""
+        return {
+            address: self._frames.get(address, tuple([0] * 41)) for address in addresses
+        }
+
+    def verify(self, bitstream: PartialBitstream) -> bool:
+        """Whether the memory currently holds exactly this bitstream's content."""
+        for address, payload in bitstream.frames.items():
+            if self._frames.get(address) != payload:
+                return False
+        return True
+
+    def owner_of(self, address: FrameAddress) -> Optional[str]:
+        """Module currently configured on a frame (``None`` when unused)."""
+        return self._owner.get(address)
+
+    def loaded_modules(self) -> List[str]:
+        """Names of modules with at least one configured frame."""
+        return sorted(name for name, frames in self._loaded_modules.items() if frames)
+
+    @property
+    def configured_frame_count(self) -> int:
+        """Number of frames currently holding configuration data."""
+        return len(self._frames)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfigurationMemory({self.device_name!r}, "
+            f"{self.configured_frame_count} frames, modules={self.loaded_modules()})"
+        )

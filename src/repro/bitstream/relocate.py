@@ -1,0 +1,109 @@
+"""The relocation filter.
+
+Relocating a partial bitstream means shifting every frame address from the
+source area to the target area and recomputing the CRC (Section I of the
+paper).  The filter below refuses to retarget a bitstream onto an area that is
+not compatible with its source — the same guarantee a hardware filter such as
+BiRF relies on the floorplanner to provide — so the end-to-end tests can show
+that floorplans produced with relocation constraints are exactly the ones on
+which relocation succeeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.bitstream.bitstream import PartialBitstream
+from repro.bitstream.frames import FrameAddress
+from repro.device.grid import FPGADevice
+from repro.device.partition import ColumnarPartition
+from repro.floorplan.geometry import Rect
+
+
+class RelocationError(RuntimeError):
+    """Raised when a bitstream cannot be retargeted to the requested area."""
+
+
+def relocate_bitstream(
+    bitstream: PartialBitstream,
+    target: Rect,
+    device: FPGADevice,
+    partition: Optional[ColumnarPartition] = None,
+    occupied: Iterable[Rect] = (),
+) -> PartialBitstream:
+    """Retarget ``bitstream`` onto ``target`` and recompute its CRC.
+
+    Parameters
+    ----------
+    bitstream:
+        The source partial bitstream.
+    target:
+        The rectangle to relocate into (typically a free-compatible area
+        reserved by the floorplanner).
+    device:
+        Device model used to validate the target footprint.
+    partition:
+        Optional columnar partition (computed from ``device`` when omitted);
+        used for the compatibility check.
+    occupied:
+        Rectangles currently occupied by other modules; overlapping any of
+        them is a relocation error (Definition .2's "free" requirement).
+
+    Raises
+    ------
+    RelocationError
+        If the target has a different shape, lies outside the device, covers
+        forbidden tiles, has a different tile-type layout, or overlaps an
+        occupied area.
+    """
+    source = bitstream.anchor
+    if (target.width, target.height) != (source.width, source.height):
+        raise RelocationError(
+            f"target {target} has a different shape than the source {source}"
+        )
+    if not target.within(device.width, device.height):
+        raise RelocationError(f"target {target} lies outside the device")
+    for col, row in target.cells():
+        if device.is_forbidden(col, row):
+            raise RelocationError(f"target {target} covers forbidden cell ({col}, {row})")
+    for rect in occupied:
+        if target.overlaps(rect):
+            raise RelocationError(f"target {target} overlaps occupied area {rect}")
+
+    if partition is None:
+        from repro.device.partition import columnar_partition
+
+        partition = columnar_partition(device)
+
+    from repro.relocation.compatibility import areas_compatible
+
+    if not areas_compatible(partition, source, target):
+        raise RelocationError(
+            f"target {target} is not compatible with the source area {source}: "
+            "the tile-type layout differs"
+        )
+
+    dcol = target.col - source.col
+    drow = target.row - source.row
+    relocated_frames = {}
+    for address, payload in bitstream.frames.items():
+        new_address = address.translated(dcol, drow)
+        expected_type = device.tile_type_at(new_address.col, new_address.row).name
+        if expected_type != address.block_type:
+            # defensive double-check; unreachable when areas_compatible passed
+            raise RelocationError(
+                f"frame {address} would land on a {expected_type} tile "
+                f"but configures {address.block_type}"
+            )
+        relocated_frames[new_address] = payload
+
+    relocated = PartialBitstream(
+        module=bitstream.module,
+        anchor=Rect(target.col, target.row, target.width, target.height),
+        frames=relocated_frames,
+        crc=0,
+        device_width=bitstream.device_width,
+        device_height=bitstream.device_height,
+    )
+    relocated.crc = relocated.compute_crc()
+    return relocated

@@ -1,0 +1,57 @@
+"""FPGA device model substrate.
+
+The floorplanner of the paper works on an abstract description of the FPGA
+fabric: a grid of *tiles* (the minimal unit of reconfiguration), each tile
+having a *type* that bundles the resources it contains and the number of
+configuration frames needed to program it (Definition .1 of the paper refines
+the tile-type notion so that two tiles of the same type are interchangeable at
+the bitstream level).
+
+This package provides:
+
+* :class:`~repro.device.resources.ResourceType` /
+  :class:`~repro.device.resources.ResourceVector` — resource bookkeeping;
+* :class:`~repro.device.tile.TileType` — tile types with frame counts;
+* :class:`~repro.device.grid.FPGADevice` — the W x H tile grid with forbidden
+  cells (hard processors, I/O banks);
+* :func:`~repro.device.partition.columnar_partition` — the revised
+  partitioning procedure of Section III.B;
+* :mod:`~repro.device.catalog` — ready-made devices (a Virtex-5 FX70T-like
+  grid used by the SDR case study, a Virtex-7-like grid, synthetic grids).
+"""
+
+from repro.device.resources import ResourceType, ResourceVector
+from repro.device.tile import TileType, TileTypeRegistry, CLB, BRAM, DSP
+from repro.device.grid import FPGADevice
+from repro.device.portion import Portion, ForbiddenArea
+from repro.device.partition import ColumnarPartition, PartitionError, columnar_partition
+from repro.device.catalog import (
+    simple_two_type_device,
+    synthetic_device,
+    virtex5_fx70t_like,
+    virtex7_like,
+    zynq_like,
+)
+from repro.device.validation import validate_device
+
+__all__ = [
+    "ResourceType",
+    "ResourceVector",
+    "TileType",
+    "TileTypeRegistry",
+    "CLB",
+    "BRAM",
+    "DSP",
+    "FPGADevice",
+    "Portion",
+    "ForbiddenArea",
+    "ColumnarPartition",
+    "PartitionError",
+    "columnar_partition",
+    "simple_two_type_device",
+    "synthetic_device",
+    "virtex5_fx70t_like",
+    "virtex7_like",
+    "zynq_like",
+    "validate_device",
+]

@@ -1,0 +1,166 @@
+"""Ready-made device descriptions.
+
+The paper evaluates on a Xilinx Virtex-5 FX70T.  We do not have access to the
+vendor device database, so :func:`virtex5_fx70t_like` builds a synthetic
+columnar grid with the same *relevant* characteristics:
+
+* three tile types — CLB, BRAM, DSP — with 36, 30 and 28 configuration frames
+  per tile respectively (these are the values that make the frame totals of
+  Table I come out exactly);
+* interleaved CLB/BRAM/DSP columns, eight tile rows (a tile row corresponds to
+  one frame row / clock region of the real device);
+* a hard-processor (PowerPC-like) forbidden block in the middle of the fabric
+  that breaks column contiguity, exactly the situation that motivates the
+  *forbidden areas* of Section III.A.
+
+The grid is sized so that the qualitative findings of Section VI hold: the
+five SDR regions fit, free-compatible areas exist for the three small regions,
+and no free-compatible area exists for the matched filter or the video decoder
+(their 5-DSP-tile footprints exhaust the DSP columns).
+
+Additional devices (``virtex7_like``, ``zynq_like``, ``synthetic_device``) are
+provided for the scaling benchmarks and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.device.grid import FPGADevice, ForbiddenRect
+from repro.device.tile import BRAM, CLB, DSP, TileType
+
+
+def simple_two_type_device(
+    width: int = 12, height: int = 6, name: str = "simple-two-type"
+) -> FPGADevice:
+    """A small blue/green style device used by the figure examples and tests.
+
+    Columns alternate in blocks: four CLB columns, one BRAM column, repeated.
+    No forbidden areas.
+    """
+    column_types: List[TileType] = []
+    for col in range(width):
+        column_types.append(BRAM if col % 5 == 4 else CLB)
+    return FPGADevice.from_columns(name, column_types, height)
+
+
+def virtex5_fx70t_like() -> FPGADevice:
+    """The Virtex-5 FX70T-like device used by the SDR case study (Section VI).
+
+    33 columns x 8 tile rows: 28 CLB columns, 3 BRAM columns, 2 DSP columns,
+    plus a 2x3 PowerPC-like forbidden block in the centre of the fabric.
+
+    The two DSP columns are the deliberately scarce resource: the SDR regions
+    demand 11 of the 16 DSP tiles, which is what makes a free-compatible area
+    for the matched filter or the video decoder impossible (their 5-DSP-tile
+    footprints cannot be duplicated), reproducing the feasibility finding of
+    Section VI.
+    """
+    pattern = (
+        "CCCC B CCC D CCCCCCCCC B CCC D CCCC B CCCCC".replace(" ", "")
+    )
+    column_types = [_TYPE_BY_LETTER[letter] for letter in pattern]
+    forbidden = [ForbiddenRect("PPC", col=13, row=3, width=2, height=3)]
+    return FPGADevice.from_columns(
+        "virtex5-fx70t-like", column_types, height=8, forbidden=forbidden
+    )
+
+
+def virtex7_like() -> FPGADevice:
+    """A larger Virtex-7-style columnar device (no hard processor block).
+
+    48 columns x 12 rows with a denser BRAM/DSP interleave; used by the
+    scaling benchmarks and the synthetic workload examples.
+    """
+    pattern = "CCCCBCCDCCCCBCCDCCCCCCBCCDCCCCBCCDCCCCCCBCCDCCCC"
+    column_types = [_TYPE_BY_LETTER[letter] for letter in pattern]
+    return FPGADevice.from_columns("virtex7-like", column_types, height=12)
+
+
+def zynq_like() -> FPGADevice:
+    """A small Zynq-style device with a processing-system forbidden corner."""
+    pattern = "CCCBCCDCCCCBCCDCCC"
+    column_types = [_TYPE_BY_LETTER[letter] for letter in pattern]
+    forbidden = [ForbiddenRect("PS", col=0, row=4, width=4, height=2)]
+    return FPGADevice.from_columns(
+        "zynq-like", column_types, height=6, forbidden=forbidden
+    )
+
+
+def synthetic_device(
+    width: int,
+    height: int,
+    bram_every: int = 5,
+    dsp_every: int = 9,
+    forbidden_blocks: int = 0,
+    seed: int | None = None,
+    name: str | None = None,
+) -> FPGADevice:
+    """Generate a parameterized columnar device.
+
+    Parameters
+    ----------
+    width, height:
+        Grid extent in tiles.
+    bram_every, dsp_every:
+        A column whose index is a multiple of ``dsp_every`` becomes a DSP
+        column; otherwise a multiple of ``bram_every`` becomes BRAM; remaining
+        columns are CLB.  Column 0 is always CLB so devices never start with a
+        scarce resource.
+    forbidden_blocks:
+        Number of randomly placed 2x2 forbidden rectangles (requires ``seed``).
+    seed:
+        RNG seed for forbidden-block placement.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("synthetic device needs positive width and height")
+    column_types: List[TileType] = []
+    for col in range(width):
+        if col == 0:
+            column_types.append(CLB)
+        elif dsp_every > 0 and col % dsp_every == 0:
+            column_types.append(DSP)
+        elif bram_every > 0 and col % bram_every == 0:
+            column_types.append(BRAM)
+        else:
+            column_types.append(CLB)
+
+    forbidden: List[ForbiddenRect] = []
+    if forbidden_blocks > 0:
+        if seed is None:
+            raise ValueError("forbidden_blocks > 0 requires a seed")
+        rng = np.random.default_rng(seed)
+        occupied: set[tuple[int, int]] = set()
+        attempts = 0
+        while len(forbidden) < forbidden_blocks and attempts < 100 * forbidden_blocks:
+            attempts += 1
+            col = int(rng.integers(0, max(1, width - 2)))
+            row = int(rng.integers(0, max(1, height - 2)))
+            cells = {(c, r) for c in (col, col + 1) for r in (row, row + 1)}
+            if cells & occupied:
+                continue
+            occupied |= cells
+            forbidden.append(
+                ForbiddenRect(f"HARD{len(forbidden)}", col=col, row=row, width=2, height=2)
+            )
+
+    device_name = name or f"synthetic-{width}x{height}"
+    return FPGADevice.from_columns(device_name, column_types, height, forbidden=forbidden)
+
+
+def figure2_device() -> FPGADevice:
+    """The small example device of Figure 2 (hard processor in the middle).
+
+    A 10x6 grid with CLB/BRAM columns and a 2x2 hard-processor block that
+    overlaps two CLB columns, reproducing the situation where the processor
+    breaks column contiguity and becomes a forbidden area.
+    """
+    pattern = "CCBCCCCBCC"
+    column_types = [_TYPE_BY_LETTER[letter] for letter in pattern]
+    forbidden = [ForbiddenRect("PROC", col=4, row=2, width=2, height=2)]
+    return FPGADevice.from_columns("figure2-example", column_types, height=6, forbidden=forbidden)
+
+
+_TYPE_BY_LETTER = {"C": CLB, "B": BRAM, "D": DSP}

@@ -1,0 +1,275 @@
+"""The FPGA tile grid.
+
+:class:`FPGADevice` models the reconfigurable fabric as a ``width x height``
+grid of tiles.  Columns are indexed ``0 .. width-1`` left to right and rows
+``0 .. height-1`` bottom to top (all code in this repository uses 0-based
+indices; the paper's 1-based formulas are translated accordingly).
+
+A device also carries a set of *forbidden rectangles* — areas occupied by hard
+blocks (the PowerPC of the Virtex-5 FX70T in the paper) that reconfigurable
+regions and free-compatible areas must not cross.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.resources import ResourceVector
+from repro.device.tile import TileType, TileTypeRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class ForbiddenRect:
+    """A rectangular block of forbidden tiles.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in rendering and reports (e.g. ``"PPC"``).
+    col, row:
+        Bottom-left corner (0-based, inclusive).
+    width, height:
+        Extent in tiles.
+    """
+
+    name: str
+    col: int
+    row: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"forbidden rect {self.name!r} must have positive extent")
+        if self.col < 0 or self.row < 0:
+            raise ValueError(f"forbidden rect {self.name!r} must have non-negative origin")
+
+    @property
+    def col_end(self) -> int:
+        """Rightmost column covered (inclusive)."""
+        return self.col + self.width - 1
+
+    @property
+    def row_end(self) -> int:
+        """Topmost row covered (inclusive)."""
+        return self.row + self.height - 1
+
+    def cells(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(col, row)`` pairs covered by the rectangle."""
+        for col in range(self.col, self.col + self.width):
+            for row in range(self.row, self.row + self.height):
+                yield col, row
+
+    def contains(self, col: int, row: int) -> bool:
+        """Whether the rectangle covers the given cell."""
+        return self.col <= col <= self.col_end and self.row <= row <= self.row_end
+
+
+class FPGADevice:
+    """A heterogeneous FPGA fabric described as a tile grid.
+
+    Parameters
+    ----------
+    name:
+        Device name (``"virtex5-fx70t-like"`` ...).
+    tile_types:
+        2D sequence indexed ``[col][row]`` of :class:`TileType` objects, or a
+        per-column sequence when ``columnar=True`` is used via
+        :meth:`from_columns`.
+    forbidden:
+        Rectangles of tiles that cannot be used by reconfigurable regions.
+    registry:
+        Tile-type registry; defaults to a registry built from the types that
+        appear in the grid.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tile_types: Sequence[Sequence[TileType]],
+        forbidden: Iterable[ForbiddenRect] = (),
+        registry: TileTypeRegistry | None = None,
+    ) -> None:
+        if not tile_types or not tile_types[0]:
+            raise ValueError("device grid must be non-empty")
+        self.name = name
+        self.width = len(tile_types)
+        self.height = len(tile_types[0])
+        for col, column in enumerate(tile_types):
+            if len(column) != self.height:
+                raise ValueError(
+                    f"column {col} has {len(column)} rows, expected {self.height}"
+                )
+
+        # intern tile types into a compact index grid
+        self._type_list: List[TileType] = []
+        type_index: Dict[TileType, int] = {}
+        grid = np.empty((self.width, self.height), dtype=np.int16)
+        for col in range(self.width):
+            for row in range(self.height):
+                tile_type = tile_types[col][row]
+                idx = type_index.get(tile_type)
+                if idx is None:
+                    idx = len(self._type_list)
+                    type_index[tile_type] = idx
+                    self._type_list.append(tile_type)
+                grid[col, row] = idx
+        self._grid = grid
+
+        self.forbidden: Tuple[ForbiddenRect, ...] = tuple(forbidden)
+        self._forbidden_mask = np.zeros((self.width, self.height), dtype=bool)
+        for rect in self.forbidden:
+            if rect.col_end >= self.width or rect.row_end >= self.height:
+                raise ValueError(
+                    f"forbidden rect {rect.name!r} exceeds device bounds "
+                    f"({self.width}x{self.height})"
+                )
+            self._forbidden_mask[rect.col : rect.col + rect.width, rect.row : rect.row + rect.height] = True
+
+        if registry is None:
+            registry = TileTypeRegistry(self._type_list)
+        else:
+            for tile_type in self._type_list:
+                registry.register(tile_type)
+        self.registry = registry
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        column_types: Sequence[TileType],
+        height: int,
+        forbidden: Iterable[ForbiddenRect] = (),
+    ) -> "FPGADevice":
+        """Build a columnar device where every tile in a column has one type.
+
+        This matches the structure of modern Xilinx devices (Virtex-5/7
+        columns of CLB/BRAM/DSP) and is the layout assumed by the paper's
+        columnar partitioning simplification.
+        """
+        if height <= 0:
+            raise ValueError("height must be positive")
+        grid = [[ctype] * height for ctype in column_types]
+        return cls(name, grid, forbidden=forbidden)
+
+    # ------------------------------------------------------------------
+    # cell queries
+    # ------------------------------------------------------------------
+    def tile_type_at(self, col: int, row: int) -> TileType:
+        """Tile type at ``(col, row)``."""
+        self._check_cell(col, row)
+        return self._type_list[int(self._grid[col, row])]
+
+    def type_index_at(self, col: int, row: int) -> int:
+        """Dense tile-type index at ``(col, row)`` (stable per device)."""
+        self._check_cell(col, row)
+        return int(self._grid[col, row])
+
+    @property
+    def tile_type_list(self) -> Sequence[TileType]:
+        """Tile types present in the device, indexed by their dense index."""
+        return tuple(self._type_list)
+
+    def is_forbidden(self, col: int, row: int) -> bool:
+        """Whether the cell belongs to a forbidden rectangle."""
+        self._check_cell(col, row)
+        return bool(self._forbidden_mask[col, row])
+
+    def forbidden_cells(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all forbidden ``(col, row)`` cells."""
+        cols, rows = np.nonzero(self._forbidden_mask)
+        for col, row in zip(cols.tolist(), rows.tolist()):
+            yield col, row
+
+    def cells(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all ``(col, row)`` cells of the grid."""
+        for col in range(self.width):
+            for row in range(self.height):
+                yield col, row
+
+    def column_is_uniform(self, col: int) -> bool:
+        """True if every (non-forbidden) tile in the column shares one type."""
+        types = {
+            int(self._grid[col, row])
+            for row in range(self.height)
+            if not self._forbidden_mask[col, row]
+        }
+        return len(types) <= 1
+
+    def column_type(self, col: int) -> TileType:
+        """Dominant tile type of a column, ignoring forbidden cells.
+
+        Raises ``ValueError`` if the column mixes types outside forbidden
+        areas (such a device cannot be columnar partitioned).
+        """
+        types = {
+            int(self._grid[col, row])
+            for row in range(self.height)
+            if not self._forbidden_mask[col, row]
+        }
+        if not types:
+            # fully forbidden column: fall back to the raw grid content
+            types = {int(self._grid[col, row]) for row in range(self.height)}
+        if len(types) != 1:
+            raise ValueError(f"column {col} mixes tile types; device is not columnar")
+        return self._type_list[types.pop()]
+
+    # ------------------------------------------------------------------
+    # aggregate queries
+    # ------------------------------------------------------------------
+    @property
+    def num_tiles(self) -> int:
+        """Total number of tiles, including forbidden ones."""
+        return self.width * self.height
+
+    @property
+    def num_usable_tiles(self) -> int:
+        """Tiles available to reconfigurable regions (not forbidden)."""
+        return int(self.num_tiles - self._forbidden_mask.sum())
+
+    def total_resources(self, include_forbidden: bool = False) -> ResourceVector:
+        """Aggregate resources of the fabric."""
+        total = ResourceVector.zero()
+        for col, row in self.cells():
+            if not include_forbidden and self._forbidden_mask[col, row]:
+                continue
+            total = total + self.tile_type_at(col, row).resources
+        return total
+
+    def total_frames(self, include_forbidden: bool = False) -> int:
+        """Aggregate configuration frames of the fabric."""
+        total = 0
+        for col, row in self.cells():
+            if not include_forbidden and self._forbidden_mask[col, row]:
+                continue
+            total += self.tile_type_at(col, row).frames
+        return total
+
+    def tile_count_by_type(self, include_forbidden: bool = False) -> Dict[TileType, int]:
+        """Number of tiles of each type."""
+        counts: Dict[TileType, int] = {}
+        for col, row in self.cells():
+            if not include_forbidden and self._forbidden_mask[col, row]:
+                continue
+            tile_type = self.tile_type_at(col, row)
+            counts[tile_type] = counts.get(tile_type, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def _check_cell(self, col: int, row: int) -> None:
+        if not (0 <= col < self.width and 0 <= row < self.height):
+            raise IndexError(
+                f"cell ({col}, {row}) outside device {self.width}x{self.height}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FPGADevice({self.name!r}, {self.width}x{self.height}, "
+            f"{len(self._type_list)} tile types, {len(self.forbidden)} forbidden rects)"
+        )

@@ -1,0 +1,97 @@
+"""Tile types.
+
+A *tile* is the minimal area considered for reconfiguration (the basic block
+of the floorplanner in [10]).  Definition .1 of the paper strengthens the
+notion of tile type: two tiles are of the same type if they have the same
+number and types of resources **and** the same configuration data layout —
+i.e. the same number of configuration frames.  :class:`TileType` captures
+exactly that pair (resource content, frame count), so equality of
+``TileType`` objects is the paper's tile-type equality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable
+
+from repro.device.resources import ResourceType, ResourceVector
+
+
+@dataclasses.dataclass(frozen=True)
+class TileType:
+    """A tile type in the sense of Definition .1.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"CLB"``, ``"BRAM"``, ...); used in rendering and
+        as the display color key in the figures.
+    resources:
+        Resources contained in one tile of this type.
+    frames:
+        Number of configuration frames needed to (re)configure one tile of
+        this type.  The Virtex-5 values used in Section VI are 36 (CLB),
+        30 (BRAM) and 28 (DSP) — these are what make the frame totals of
+        Table I come out exactly.
+    """
+
+    name: str
+    resources: ResourceVector
+    frames: int
+
+    def __post_init__(self) -> None:
+        if self.frames <= 0:
+            raise ValueError(f"tile type {self.name!r} must have a positive frame count")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+# Canonical Virtex-5-style tile types (frames per tile from Section VI).
+CLB = TileType("CLB", ResourceVector({ResourceType.CLB: 1}), frames=36)
+BRAM = TileType("BRAM", ResourceVector({ResourceType.BRAM: 1}), frames=30)
+DSP = TileType("DSP", ResourceVector({ResourceType.DSP: 1}), frames=28)
+
+
+class TileTypeRegistry:
+    """A small registry mapping tile-type names to :class:`TileType` objects.
+
+    Devices built by :mod:`repro.device.catalog` share the canonical CLB/BRAM/
+    DSP types; synthetic devices may register additional types (e.g. ``"URAM"``)
+    through this registry.
+    """
+
+    def __init__(self, types: Iterable[TileType] | None = None) -> None:
+        self._types: Dict[str, TileType] = {}
+        for tile_type in types or (CLB, BRAM, DSP):
+            self.register(tile_type)
+
+    def register(self, tile_type: TileType) -> TileType:
+        """Add a tile type; re-registering an identical type is a no-op."""
+        existing = self._types.get(tile_type.name)
+        if existing is not None and existing != tile_type:
+            raise ValueError(
+                f"tile type {tile_type.name!r} already registered with different content"
+            )
+        self._types[tile_type.name] = tile_type
+        return tile_type
+
+    def get(self, name: str) -> TileType:
+        """Look a type up by name."""
+        try:
+            return self._types[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown tile type {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self):
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def names(self) -> Iterable[str]:
+        """Registered type names in insertion order."""
+        return list(self._types.keys())

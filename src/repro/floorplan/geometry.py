@@ -1,0 +1,120 @@
+"""Rectangles and geometric helpers used throughout the floorplanner."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle of tiles.
+
+    ``col``/``row`` locate the bottom-left tile (0-based, inclusive); ``width``
+    and ``height`` are extents in tiles, so the rectangle covers columns
+    ``col .. col+width-1`` and rows ``row .. row+height-1``.
+    """
+
+    col: int
+    row: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"rectangle must have positive extent, got {self.width}x{self.height}")
+
+    # ------------------------------------------------------------------
+    @property
+    def col_end(self) -> int:
+        """Rightmost column covered (inclusive)."""
+        return self.col + self.width - 1
+
+    @property
+    def row_end(self) -> int:
+        """Topmost row covered (inclusive)."""
+        return self.row + self.height - 1
+
+    @property
+    def area(self) -> int:
+        """Number of tiles covered."""
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> int:
+        """Half-perimeter times two, in tile units."""
+        return 2 * (self.width + self.height)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Geometric centre ``(x, y)`` in tile coordinates."""
+        return (self.col + (self.width - 1) / 2.0, self.row + (self.height - 1) / 2.0)
+
+    # ------------------------------------------------------------------
+    def contains(self, col: int, row: int) -> bool:
+        """Whether the rectangle covers the given cell."""
+        return self.col <= col <= self.col_end and self.row <= row <= self.row_end
+
+    def cells(self) -> Iterator[Tuple[int, int]]:
+        """Iterate covered ``(col, row)`` cells."""
+        for col in range(self.col, self.col + self.width):
+            for row in range(self.row, self.row + self.height):
+                yield col, row
+
+    def columns(self) -> range:
+        """Covered columns."""
+        return range(self.col, self.col + self.width)
+
+    def rows(self) -> range:
+        """Covered rows."""
+        return range(self.row, self.row + self.height)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Whether the two rectangles share at least one tile."""
+        return not (
+            self.col_end < other.col
+            or other.col_end < self.col
+            or self.row_end < other.row
+            or other.row_end < self.row
+        )
+
+    def intersection_area(self, other: "Rect") -> int:
+        """Number of tiles shared with ``other``."""
+        dx = min(self.col_end, other.col_end) - max(self.col, other.col) + 1
+        dy = min(self.row_end, other.row_end) - max(self.row, other.row) + 1
+        return max(0, dx) * max(0, dy)
+
+    def within(self, width: int, height: int) -> bool:
+        """Whether the rectangle fits inside a ``width x height`` grid."""
+        return self.col >= 0 and self.row >= 0 and self.col_end < width and self.row_end < height
+
+    def translated(self, dcol: int, drow: int) -> "Rect":
+        """A copy moved by ``(dcol, drow)`` tiles."""
+        return Rect(self.col + dcol, self.row + drow, self.width, self.height)
+
+    def __repr__(self) -> str:
+        return f"Rect(col={self.col}, row={self.row}, w={self.width}, h={self.height})"
+
+
+def half_perimeter_wirelength(points: Sequence[Tuple[float, float]]) -> float:
+    """Half-perimeter wirelength (HPWL) of a set of points."""
+    if not points:
+        return 0.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def manhattan(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Manhattan distance between two points."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def total_overlap_area(rects: Iterable[Rect]) -> int:
+    """Total pairwise overlap (in tiles) of a collection of rectangles."""
+    rect_list = list(rects)
+    total = 0
+    for i, first in enumerate(rect_list):
+        for second in rect_list[i + 1 :]:
+            total += first.intersection_area(second)
+    return total

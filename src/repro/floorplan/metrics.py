@@ -1,0 +1,167 @@
+"""Floorplan quality metrics and the multi-objective cost of eq. 14.
+
+The paper optimizes a normalized weighted sum
+
+    min  q1*WL/WLmax + q2*P/Pmax + q3*R/Rmax + q4*RL/RLmax
+
+where WL is wirelength, P the total region perimeter, R the wasted resources
+(we measure it in wasted configuration frames, the unit Table II reports) and
+RL the relocation cost of eq. 13.  The evaluation protocol of Section VI is
+lexicographic — "first optimize the wasted area and, without increasing the
+area cost, minimize the overall wire length" — which
+:class:`repro.floorplan.solver.FloorplanSolver` implements on top of these
+terms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.floorplan.geometry import manhattan
+from repro.floorplan.placement import Floorplan
+from repro.floorplan.problem import FloorplanProblem
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectiveWeights:
+    """Weights ``q1..q4`` of the objective function (eq. 14)."""
+
+    wirelength: float = 1.0
+    perimeter: float = 0.0
+    wasted_frames: float = 1.0
+    relocation: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0:
+                raise ValueError(f"objective weight {field.name} must be non-negative")
+
+    @staticmethod
+    def paper_default() -> "ObjectiveWeights":
+        """Weights mimicking the Section VI protocol in a single weighted solve.
+
+        Wasted frames dominate, wirelength acts as a tie breaker; relocation
+        cost is only relevant in relocation-as-a-metric mode.
+        """
+        return ObjectiveWeights(wirelength=0.05, perimeter=0.0, wasted_frames=1.0, relocation=0.5)
+
+
+@dataclasses.dataclass(frozen=True)
+class FloorplanMetrics:
+    """Measured metrics of a floorplan."""
+
+    wirelength: float
+    perimeter: int
+    covered_frames: int
+    required_frames: int
+    wasted_frames: int
+    free_compatible_areas: int
+    unsatisfied_free_areas: int
+    objective: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict representation for reports."""
+        return dataclasses.asdict(self)
+
+
+def wirelength(floorplan: Floorplan) -> float:
+    """Weighted Manhattan wirelength between connected endpoint centres."""
+    problem = floorplan.problem
+    total = 0.0
+    for connection in problem.connections:
+        centers = []
+        for endpoint in connection.endpoints():
+            centers.append(_endpoint_center(floorplan, endpoint))
+        total += connection.weight * manhattan(centers[0], centers[1])
+    return total
+
+
+def _endpoint_center(floorplan: Floorplan, endpoint: str) -> Tuple[float, float]:
+    problem = floorplan.problem
+    if endpoint in floorplan.placements:
+        return floorplan.placements[endpoint].rect.center
+    try:
+        pin = problem.pin_by_name(endpoint)
+    except KeyError:
+        raise KeyError(
+            f"endpoint {endpoint!r} has no placement and is not a pin"
+        ) from None
+    return pin.center
+
+
+def total_perimeter(floorplan: Floorplan) -> int:
+    """Sum of region perimeters (free-compatible areas excluded)."""
+    return sum(p.rect.perimeter for p in floorplan.placements.values())
+
+
+def covered_frames(floorplan: Floorplan) -> int:
+    """Configuration frames covered by the reconfigurable regions.
+
+    Free-compatible areas are *not* counted: as Section VI notes, the
+    resources they reserve are not an additional cost, they only hold space
+    for relocated bitstreams.
+    """
+    device = floorplan.device
+    return sum(p.covered_frames(device) for p in floorplan.placements.values())
+
+
+def wasted_frames(floorplan: Floorplan) -> int:
+    """Frames covered by regions beyond their minimum requirement (Table II)."""
+    problem = floorplan.problem
+    required = sum(
+        problem.required_frames(name) for name in floorplan.placements.keys()
+    )
+    return covered_frames(floorplan) - required
+
+
+def normalization_constants(problem: FloorplanProblem) -> Dict[str, float]:
+    """Normalization denominators WLmax, Pmax, Rmax used in eq. 14.
+
+    The paper does not spell these out; any positive constants preserve the
+    optimizer's ordering for fixed weights.  We use natural upper bounds:
+    every connection spanning the whole die for WLmax, every region covering
+    the whole die boundary for Pmax, and all usable frames for Rmax.
+    """
+    device = problem.device
+    span = device.width + device.height
+    wl_max = max(1.0, problem.connection_weight_total() * span)
+    p_max = max(1.0, 2.0 * span * len(problem.regions))
+    r_max = max(1.0, float(device.total_frames()))
+    return {"wirelength": wl_max, "perimeter": p_max, "wasted_frames": r_max}
+
+
+def evaluate_floorplan(
+    floorplan: Floorplan, weights: ObjectiveWeights | None = None
+) -> FloorplanMetrics:
+    """Compute all metrics and the eq.-14 objective for a floorplan."""
+    weights = weights or ObjectiveWeights.paper_default()
+    problem = floorplan.problem
+    norms = normalization_constants(problem)
+
+    wl = wirelength(floorplan)
+    perim = total_perimeter(floorplan)
+    covered = covered_frames(floorplan)
+    required = sum(problem.required_frames(name) for name in floorplan.placements.keys())
+    wasted = covered - required
+
+    satisfied = floorplan.num_free_compatible_areas
+    unsatisfied = len(floorplan.free_areas) - satisfied
+    rl_max = max(1, len(floorplan.free_areas))
+
+    objective = (
+        weights.wirelength * wl / norms["wirelength"]
+        + weights.perimeter * perim / norms["perimeter"]
+        + weights.wasted_frames * wasted / norms["wasted_frames"]
+        + weights.relocation * unsatisfied / rl_max
+    )
+    return FloorplanMetrics(
+        wirelength=wl,
+        perimeter=perim,
+        covered_frames=covered,
+        required_frames=required,
+        wasted_frames=wasted,
+        free_compatible_areas=satisfied,
+        unsatisfied_free_areas=unsatisfied,
+        objective=objective,
+    )

@@ -1,0 +1,558 @@
+"""Occupancy-grid MILP formulation of the floorplanning problem ("O" mode).
+
+This module re-derives the FCCM'14 model ([10]) that the relocation extension
+attaches to.  The exact matrix of the original paper is not public; what the
+2015 extension relies on is the *interface* of the model — the variables
+``k[n,p]`` (area n intersects columnar portion p), ``l[n,p,r]`` (tiles of
+portion p covered by area n on row r) and the height ``h[n]`` — plus exact
+non-overlap constraints.  The occupancy-grid formulation below provides those
+variables with exact (not big-M-relaxed) semantics:
+
+* column-coverage binaries ``u[n,j]`` and row-coverage binaries ``a[n,r]``
+  with single-run contiguity enforced through start binaries;
+* ``k[n,p]`` derived exactly from the ``u`` variables of the portion's columns;
+* ``l[n,p,r]`` as the exact linearization of ``a[n,r] * sum_{j in p} u[n,j]``;
+* pairwise non-overlap through the classic 4-way relative-position
+  disjunction, which HO mode fixes from a sequence pair;
+* forbidden cells excluded by ``u[n,j] + a[n,r] <= 1``;
+* resource coverage ``sum_p res_t(p) * sum_r l[n,p,r] >= c[n,t]``.
+
+Free-compatible areas (set ``FC`` of the paper) are modelled as additional
+areas with no resource requirements, exactly as Section IV prescribes
+(``FC ⊂ N``); the compatibility constraints themselves live in
+:mod:`repro.relocation.constraints`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.device.partition import ColumnarPartition
+from repro.device.resources import ResourceVector
+from repro.floorplan.geometry import Rect
+from repro.floorplan.metrics import ObjectiveWeights, normalization_constants
+from repro.floorplan.placement import Floorplan, RegionPlacement
+from repro.floorplan.problem import FloorplanProblem
+from repro.floorplan import sequence_pair as sp
+from repro.milp import LinExpr, Model, Variable, VarType, quicksum
+from repro.milp.solution import MILPSolution
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaSpec:
+    """One area handled by the MILP: a reconfigurable region or an FC area.
+
+    Attributes
+    ----------
+    name:
+        Unique area name.
+    requirements:
+        Tiles required per resource type (zero for free-compatible areas,
+        whose footprint is fixed by the compatibility constraints instead).
+    compatible_with:
+        For free-compatible areas, the region whose footprint must be matched
+        (parameter ``s[c,n]`` of the paper collapses to this single reference
+        because the SDR case study — and the common case — ties each FC area
+        to exactly one region).
+    soft:
+        Relocation-as-a-metric area: its constraints may be violated at a
+        price (Section V); a violation binary ``v[c]`` is created.
+    weight:
+        ``cw[c]`` — weight of the area in the relocation cost (eq. 13).
+    max_width, max_height:
+        Optional extent caps.
+    """
+
+    name: str
+    requirements: ResourceVector
+    compatible_with: Optional[str] = None
+    soft: bool = False
+    weight: float = 1.0
+    max_width: Optional[int] = None
+    max_height: Optional[int] = None
+
+    @property
+    def is_free_area(self) -> bool:
+        """True for free-compatible areas."""
+        return self.compatible_with is not None
+
+
+@dataclasses.dataclass
+class FloorplanMILP:
+    """The built model plus handles to every variable family.
+
+    The relocation extension (:mod:`repro.relocation.constraints`) and the
+    solver facade both work through this object.
+    """
+
+    problem: FloorplanProblem
+    partition: ColumnarPartition
+    areas: Tuple[AreaSpec, ...]
+    model: Model
+    # variable families, keyed by area name
+    col_cover: Dict[str, List[Variable]]
+    col_start: Dict[str, List[Variable]]
+    row_cover: Dict[str, List[Variable]]
+    row_start: Dict[str, List[Variable]]
+    k: Dict[str, List[Variable]]
+    l: Dict[str, List[List[Variable]]]
+    violation: Dict[str, Variable]
+    rel_dirs: Dict[Tuple[str, str], Dict[str, Variable]]
+    # derived affine expressions, keyed by area name
+    x_expr: Dict[str, LinExpr]
+    y_expr: Dict[str, LinExpr]
+    w_expr: Dict[str, LinExpr]
+    h_expr: Dict[str, LinExpr]
+    tiles_in_portion: Dict[str, List[LinExpr]]
+    frames_expr: Dict[str, LinExpr]
+    # cost expressions
+    wasted_frames_expr: LinExpr
+    wirelength_expr: LinExpr
+    perimeter_expr: LinExpr
+    norms: Dict[str, float]
+
+    # ------------------------------------------------------------------
+    def area_by_name(self, name: str) -> AreaSpec:
+        """Look an area spec up by name."""
+        for area in self.areas:
+            if area.name == name:
+                return area
+        raise KeyError(f"unknown area {name!r}")
+
+    def free_area_specs(self) -> List[AreaSpec]:
+        """The free-compatible areas of the model."""
+        return [area for area in self.areas if area.is_free_area]
+
+    def relocation_cost_expr(self) -> LinExpr:
+        """``RLcost`` of eq. 13: weighted sum of violation binaries."""
+        return quicksum(
+            area.weight * self.violation[area.name]
+            for area in self.areas
+            if area.soft and area.name in self.violation
+        )
+
+    def relocation_cost_max(self) -> float:
+        """``RLmax`` of eq. 15."""
+        total = sum(area.weight for area in self.areas if area.soft)
+        return max(total, 1.0)
+
+    # ------------------------------------------------------------------
+    def set_objective(self, weights: ObjectiveWeights | None = None) -> None:
+        """Install the normalized weighted objective of eq. 14."""
+        weights = weights or ObjectiveWeights.paper_default()
+        objective = (
+            weights.wirelength * self.wirelength_expr * (1.0 / self.norms["wirelength"])
+            + weights.perimeter * self.perimeter_expr * (1.0 / self.norms["perimeter"])
+            + weights.wasted_frames
+            * self.wasted_frames_expr
+            * (1.0 / self.norms["wasted_frames"])
+        )
+        if weights.relocation > 0:
+            objective = objective + weights.relocation * self.relocation_cost_expr() * (
+                1.0 / self.relocation_cost_max()
+            )
+        self.model.minimize(objective)
+
+    # ------------------------------------------------------------------
+    def extract(self, solution: MILPSolution) -> Floorplan:
+        """Turn an MILP solution into a :class:`Floorplan`."""
+        floorplan = Floorplan(
+            problem=self.problem,
+            objective=solution.objective,
+            solve_time=solution.solve_time,
+            solver_status=solution.status.value,
+            metadata={
+                "backend": solution.backend,
+                "model_stats": str(self.model.stats()),
+                "node_count": solution.node_count,
+                "bound": solution.bound,
+            },
+        )
+        if not solution.status.has_solution:
+            return floorplan
+        for area in self.areas:
+            satisfied = True
+            if area.soft and area.name in self.violation:
+                satisfied = solution.value(self.violation[area.name]) < 0.5
+            cols = [
+                j
+                for j, var in enumerate(self.col_cover[area.name])
+                if solution.value(var) > 0.5
+            ]
+            rows = [
+                r
+                for r, var in enumerate(self.row_cover[area.name])
+                if solution.value(var) > 0.5
+            ]
+            if not cols or not rows:
+                if area.is_free_area:
+                    satisfied = False
+                    rect = Rect(0, 0, 1, 1)
+                else:
+                    # a placed region always covers at least one tile; this
+                    # branch only triggers on numerically degenerate solutions
+                    rect = Rect(0, 0, 1, 1)
+            else:
+                rect = Rect(min(cols), min(rows), len(cols), len(rows))
+            placement = RegionPlacement(
+                name=area.name,
+                rect=rect,
+                compatible_with=area.compatible_with,
+                satisfied=satisfied,
+            )
+            floorplan.add_placement(placement)
+        return floorplan
+
+
+def build_floorplan_milp(
+    problem: FloorplanProblem,
+    extra_areas: Sequence[AreaSpec] = (),
+    fixed_relations: Mapping[Tuple[str, str], str] | None = None,
+    model_name: str | None = None,
+) -> FloorplanMILP:
+    """Build the base MILP for a problem plus optional free-compatible areas.
+
+    Parameters
+    ----------
+    problem:
+        The floorplanning instance (device + regions + connectivity).
+    extra_areas:
+        Additional areas, typically the free-compatible areas requested by a
+        :class:`~repro.relocation.spec.RelocationSpec`.
+    fixed_relations:
+        HO mode: mapping ``(a, b) -> relation`` (one of ``"left"``, ``"right"``,
+        ``"below"``, ``"above"``) fixing the relative position of area ``a``
+        with respect to ``b``; pairs present here skip the disjunction
+        binaries entirely.
+    model_name:
+        Name for the underlying :class:`~repro.milp.model.Model`.
+    """
+    partition = problem.partition
+    width, height = partition.width, partition.height
+    portions = partition.portions
+    fixed_relations = dict(fixed_relations or {})
+
+    areas: List[AreaSpec] = [
+        AreaSpec(
+            name=region.name,
+            requirements=region.requirements,
+            max_width=region.max_width,
+            max_height=region.max_height,
+        )
+        for region in problem.regions
+    ]
+    areas.extend(extra_areas)
+    names = [area.name for area in areas]
+    if len(set(names)) != len(names):
+        raise ValueError("area names must be unique (regions + free-compatible areas)")
+
+    model = Model(model_name or f"floorplan[{problem.name}]")
+
+    col_cover: Dict[str, List[Variable]] = {}
+    col_start: Dict[str, List[Variable]] = {}
+    row_cover: Dict[str, List[Variable]] = {}
+    row_start: Dict[str, List[Variable]] = {}
+    k_vars: Dict[str, List[Variable]] = {}
+    l_vars: Dict[str, List[List[Variable]]] = {}
+    violation: Dict[str, Variable] = {}
+    x_expr: Dict[str, LinExpr] = {}
+    y_expr: Dict[str, LinExpr] = {}
+    w_expr: Dict[str, LinExpr] = {}
+    h_expr: Dict[str, LinExpr] = {}
+    tiles_in_portion: Dict[str, List[LinExpr]] = {}
+    frames_expr: Dict[str, LinExpr] = {}
+
+    # ------------------------------------------------------------------
+    # per-area geometry variables
+    # ------------------------------------------------------------------
+    for area in areas:
+        name = area.name
+        key = _sanitize(name)
+        col_cover[name] = [model.add_binary(f"u[{key},{j}]") for j in range(width)]
+        col_start[name] = [model.add_binary(f"us[{key},{j}]") for j in range(width)]
+        row_cover[name] = [model.add_binary(f"a[{key},{r}]") for r in range(height)]
+        row_start[name] = [model.add_binary(f"as[{key},{r}]") for r in range(height)]
+
+        _add_contiguity(model, col_cover[name], col_start[name], f"col[{key}]")
+        _add_contiguity(model, row_cover[name], row_start[name], f"row[{key}]")
+
+        w_expr[name] = quicksum(col_cover[name])
+        h_expr[name] = quicksum(row_cover[name])
+        x_expr[name] = quicksum(j * col_start[name][j] for j in range(width))
+        y_expr[name] = quicksum(r * row_start[name][r] for r in range(height))
+
+        if area.max_width is not None:
+            model.add(w_expr[name] <= area.max_width, name=f"maxw[{key}]")
+        if area.max_height is not None:
+            model.add(h_expr[name] <= area.max_height, name=f"maxh[{key}]")
+
+        # k[n,p]: exact intersection indicator with each columnar portion
+        k_vars[name] = []
+        for portion in portions:
+            k = model.add_binary(f"k[{key},{portion.index}]")
+            portion_cols = [col_cover[name][j] for j in portion.columns()]
+            for j, var in zip(portion.columns(), portion_cols):
+                model.add(k >= var, name=f"kge[{key},{portion.index},{j}]")
+            model.add(k <= quicksum(portion_cols), name=f"kle[{key},{portion.index}]")
+            k_vars[name].append(k)
+
+        # l[n,p,r]: exact tiles of portion p covered on row r
+        l_vars[name] = []
+        tiles_in_portion[name] = []
+        for portion in portions:
+            row_list: List[Variable] = []
+            portion_width = portion.width
+            wcol = quicksum(col_cover[name][j] for j in portion.columns())
+            for r in range(height):
+                l = model.add_continuous(
+                    f"l[{key},{portion.index},{r}]", lb=0.0, ub=float(portion_width)
+                )
+                arow = row_cover[name][r]
+                model.add(l <= wcol, name=f"l_le_w[{key},{portion.index},{r}]")
+                model.add(
+                    l <= portion_width * arow,
+                    name=f"l_le_a[{key},{portion.index},{r}]",
+                )
+                model.add(
+                    l >= wcol - portion_width * (1 - arow),
+                    name=f"l_ge[{key},{portion.index},{r}]",
+                )
+                row_list.append(l)
+            l_vars[name].append(row_list)
+            tiles_in_portion[name].append(quicksum(row_list))
+
+        # frames covered by the area
+        frames_expr[name] = quicksum(
+            portion.tile_type.frames * tiles_in_portion[name][portion.index]
+            for portion in portions
+        )
+
+        # forbidden cells
+        for fcol, frow in partition.forbidden_cells():
+            model.add(
+                col_cover[name][fcol] + row_cover[name][frow] <= 1,
+                name=f"forbid[{key},{fcol},{frow}]",
+            )
+
+        # resource coverage (regions only; FC footprints are fixed by eqs. 6-10)
+        if not area.is_free_area:
+            for rtype, required in area.requirements:
+                if required <= 0:
+                    continue
+                supply = quicksum(
+                    portion.tile_type.resources.get(rtype)
+                    * tiles_in_portion[name][portion.index]
+                    for portion in portions
+                    if portion.tile_type.resources.get(rtype) > 0
+                )
+                model.add(supply >= required, name=f"res[{key},{rtype.value}]")
+
+        # violation binary for soft (relocation-as-a-metric) areas
+        if area.soft:
+            violation[name] = model.add_binary(f"v[{key}]")
+
+    # ------------------------------------------------------------------
+    # pairwise non-overlap
+    # ------------------------------------------------------------------
+    rel_dirs: Dict[Tuple[str, str], Dict[str, Variable]] = {}
+    for i, first in enumerate(areas):
+        for second in areas[i + 1 :]:
+            _add_non_overlap(
+                model,
+                first,
+                second,
+                x_expr,
+                y_expr,
+                w_expr,
+                h_expr,
+                violation,
+                width,
+                height,
+                fixed_relations,
+                rel_dirs,
+            )
+
+    # ------------------------------------------------------------------
+    # cost expressions
+    # ------------------------------------------------------------------
+    region_names = set(problem.region_names)
+    wasted = quicksum(
+        frames_expr[name] for name in names if name in region_names
+    ) - float(problem.total_required_frames())
+
+    wirelength_expr = _build_wirelength(
+        model, problem, areas, x_expr, y_expr, w_expr, h_expr
+    )
+    perimeter_expr = quicksum(
+        2.0 * (w_expr[name] + h_expr[name]) for name in names if name in region_names
+    )
+
+    milp = FloorplanMILP(
+        problem=problem,
+        partition=partition,
+        areas=tuple(areas),
+        model=model,
+        col_cover=col_cover,
+        col_start=col_start,
+        row_cover=row_cover,
+        row_start=row_start,
+        k=k_vars,
+        l=l_vars,
+        violation=violation,
+        rel_dirs=rel_dirs,
+        x_expr=x_expr,
+        y_expr=y_expr,
+        w_expr=w_expr,
+        h_expr=h_expr,
+        tiles_in_portion=tiles_in_portion,
+        frames_expr=frames_expr,
+        wasted_frames_expr=wasted,
+        wirelength_expr=wirelength_expr,
+        perimeter_expr=perimeter_expr,
+        norms=normalization_constants(problem),
+    )
+    milp.set_objective()
+    return milp
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _sanitize(name: str) -> str:
+    return name.replace(" ", "_").replace(",", "_")
+
+
+def _add_contiguity(
+    model: Model, cover: List[Variable], start: List[Variable], label: str
+) -> None:
+    """Force the covered indices to form exactly one non-empty contiguous run."""
+    model.add(quicksum(start) == 1, name=f"{label}:one_start")
+    for idx, (c, s) in enumerate(zip(cover, start)):
+        model.add(c >= s, name=f"{label}:cover_ge_start[{idx}]")
+        if idx == 0:
+            model.add(c <= s, name=f"{label}:first")
+        else:
+            model.add(c <= cover[idx - 1] + s, name=f"{label}:chain[{idx}]")
+        # a start at idx forbids coverage of idx-1 (the run cannot begin twice)
+        if idx > 0:
+            model.add(cover[idx - 1] + s <= 1, name=f"{label}:no_restart[{idx}]")
+
+
+def _add_non_overlap(
+    model: Model,
+    first: AreaSpec,
+    second: AreaSpec,
+    x_expr: Dict[str, LinExpr],
+    y_expr: Dict[str, LinExpr],
+    w_expr: Dict[str, LinExpr],
+    h_expr: Dict[str, LinExpr],
+    violation: Dict[str, Variable],
+    width: int,
+    height: int,
+    fixed_relations: Mapping[Tuple[str, str], str],
+    rel_dirs: Dict[Tuple[str, str], Dict[str, Variable]],
+) -> None:
+    a, b = first.name, second.name
+    key = f"{_sanitize(a)}|{_sanitize(b)}"
+
+    # soft areas may overlap at the price of their violation binary (Section V)
+    slack = LinExpr()
+    if first.soft and a in violation:
+        slack = slack + violation[a]
+    if second.soft and b in violation:
+        slack = slack + violation[b]
+
+    relation = fixed_relations.get((a, b))
+    if relation is None and (b, a) in fixed_relations:
+        mirrored = {
+            sp.RELATION_LEFT: sp.RELATION_RIGHT,
+            sp.RELATION_RIGHT: sp.RELATION_LEFT,
+            sp.RELATION_BELOW: sp.RELATION_ABOVE,
+            sp.RELATION_ABOVE: sp.RELATION_BELOW,
+        }
+        relation = mirrored[fixed_relations[(b, a)]]
+
+    if relation is not None:
+        # HO mode: the relative position is fixed, no disjunction needed.
+        if relation == sp.RELATION_LEFT:
+            model.add(
+                x_expr[a] + w_expr[a] <= x_expr[b] + width * slack,
+                name=f"sp_left[{key}]",
+            )
+        elif relation == sp.RELATION_RIGHT:
+            model.add(
+                x_expr[b] + w_expr[b] <= x_expr[a] + width * slack,
+                name=f"sp_right[{key}]",
+            )
+        elif relation == sp.RELATION_BELOW:
+            model.add(
+                y_expr[a] + h_expr[a] <= y_expr[b] + height * slack,
+                name=f"sp_below[{key}]",
+            )
+        elif relation == sp.RELATION_ABOVE:
+            model.add(
+                y_expr[b] + h_expr[b] <= y_expr[a] + height * slack,
+                name=f"sp_above[{key}]",
+            )
+        else:
+            raise ValueError(f"unknown fixed relation {relation!r}")
+        return
+
+    dirs = {
+        "left": model.add_binary(f"d_left[{key}]"),
+        "right": model.add_binary(f"d_right[{key}]"),
+        "below": model.add_binary(f"d_below[{key}]"),
+        "above": model.add_binary(f"d_above[{key}]"),
+    }
+    rel_dirs[(a, b)] = dirs
+    model.add(quicksum(dirs.values()) >= 1, name=f"sep[{key}]")
+    model.add(
+        x_expr[a] + w_expr[a] <= x_expr[b] + width * (1 - dirs["left"]) + width * slack,
+        name=f"no_l[{key}]",
+    )
+    model.add(
+        x_expr[b] + w_expr[b] <= x_expr[a] + width * (1 - dirs["right"]) + width * slack,
+        name=f"no_r[{key}]",
+    )
+    model.add(
+        y_expr[a] + h_expr[a] <= y_expr[b] + height * (1 - dirs["below"]) + height * slack,
+        name=f"no_b[{key}]",
+    )
+    model.add(
+        y_expr[b] + h_expr[b] <= y_expr[a] + height * (1 - dirs["above"]) + height * slack,
+        name=f"no_a[{key}]",
+    )
+
+
+def _build_wirelength(
+    model: Model,
+    problem: FloorplanProblem,
+    areas: Sequence[AreaSpec],
+    x_expr: Dict[str, LinExpr],
+    y_expr: Dict[str, LinExpr],
+    w_expr: Dict[str, LinExpr],
+    h_expr: Dict[str, LinExpr],
+) -> LinExpr:
+    """Weighted Manhattan distance between connected endpoint centres."""
+    area_names = {area.name for area in areas}
+    terms: List[LinExpr] = []
+    for idx, connection in enumerate(problem.connections):
+        centers_x: List[LinExpr] = []
+        centers_y: List[LinExpr] = []
+        for endpoint in connection.endpoints():
+            if endpoint in area_names:
+                centers_x.append(x_expr[endpoint] + 0.5 * w_expr[endpoint])
+                centers_y.append(y_expr[endpoint] + 0.5 * h_expr[endpoint])
+            else:
+                pin = problem.pin_by_name(endpoint)
+                centers_x.append(LinExpr.from_const(pin.col + 0.5))
+                centers_y.append(LinExpr.from_const(pin.row + 0.5))
+        dx = model.add_continuous(f"wl_dx[{idx}]", lb=0.0)
+        dy = model.add_continuous(f"wl_dy[{idx}]", lb=0.0)
+        model.add(dx >= centers_x[0] - centers_x[1], name=f"wl_dx_p[{idx}]")
+        model.add(dx >= centers_x[1] - centers_x[0], name=f"wl_dx_n[{idx}]")
+        model.add(dy >= centers_y[0] - centers_y[1], name=f"wl_dy_p[{idx}]")
+        model.add(dy >= centers_y[1] - centers_y[0], name=f"wl_dy_n[{idx}]")
+        terms.append(connection.weight * (dx + dy))
+    return quicksum(terms) if terms else LinExpr()

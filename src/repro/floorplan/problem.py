@@ -1,0 +1,229 @@
+"""Designer-facing floorplanning problem description.
+
+A :class:`FloorplanProblem` bundles the target device, the reconfigurable
+regions with their resource requirements (set ``N`` and parameters ``c[n,t]``
+of the paper) and the inter-region connectivity used by the wirelength cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.device.grid import FPGADevice
+from repro.device.partition import ColumnarPartition, columnar_partition
+from repro.device.resources import ResourceType, ResourceVector
+from repro.device.tile import TileType
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A reconfigurable region to be placed.
+
+    Attributes
+    ----------
+    name:
+        Unique region name (``"Matched Filter"`` ...).
+    requirements:
+        Tiles required per type (parameter ``c[n,t]``).
+    max_width, max_height:
+        Optional designer-imposed caps on the region extent, in tiles.
+    """
+
+    name: str
+    requirements: ResourceVector
+    max_width: Optional[int] = None
+    max_height: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("region name must be non-empty")
+        if self.requirements.is_zero():
+            raise ValueError(f"region {self.name!r} requires no resources")
+
+    def required_frames(self, frames_per_type: Dict[ResourceType, int]) -> int:
+        """Minimum configuration frames needed (last column of Table I).
+
+        ``frames_per_type`` maps each resource type to the frames of the tile
+        type that provides it (36/30/28 for CLB/BRAM/DSP on the Virtex-5).
+        """
+        total = 0
+        for rtype, count in self.requirements:
+            if count == 0:
+                continue
+            if rtype not in frames_per_type:
+                raise KeyError(f"no tile type provides resource {rtype}")
+            total += count * frames_per_type[rtype]
+        return total
+
+    @property
+    def total_tiles(self) -> int:
+        """Total number of tiles required, regardless of type."""
+        return self.requirements.total
+
+
+@dataclasses.dataclass(frozen=True)
+class IOPin:
+    """A fixed connection endpoint (I/O pad, static-logic port)."""
+
+    name: str
+    col: int
+    row: int
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Location used by the wirelength cost."""
+        return (float(self.col), float(self.row))
+
+
+@dataclasses.dataclass(frozen=True)
+class Connection:
+    """A weighted connection between two endpoints (regions or pins).
+
+    The weight is typically the bus width in wires; the SDR case study uses a
+    64-bit bus between consecutive modules.
+    """
+
+    source: str
+    target: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError("connection endpoints must differ")
+        if self.weight <= 0:
+            raise ValueError("connection weight must be positive")
+
+    def endpoints(self) -> Tuple[str, str]:
+        """The two endpoint names."""
+        return (self.source, self.target)
+
+
+class FloorplanProblem:
+    """A complete floorplanning instance.
+
+    Parameters
+    ----------
+    device:
+        Target FPGA.
+    regions:
+        Reconfigurable regions to place.
+    connections:
+        Weighted connectivity between regions and/or pins.
+    pins:
+        Fixed endpoints referenced by connections.
+    name:
+        Instance name used in reports.
+    """
+
+    def __init__(
+        self,
+        device: FPGADevice,
+        regions: Sequence[Region],
+        connections: Sequence[Connection] = (),
+        pins: Sequence[IOPin] = (),
+        name: str = "floorplan",
+    ) -> None:
+        self.device = device
+        self.regions: Tuple[Region, ...] = tuple(regions)
+        self.connections: Tuple[Connection, ...] = tuple(connections)
+        self.pins: Tuple[IOPin, ...] = tuple(pins)
+        self.name = name
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        names = [r.name for r in self.regions]
+        if len(set(names)) != len(names):
+            raise ValueError("region names must be unique")
+        pin_names = [p.name for p in self.pins]
+        if len(set(pin_names)) != len(pin_names):
+            raise ValueError("pin names must be unique")
+        if set(names) & set(pin_names):
+            raise ValueError("pin names must not collide with region names")
+        known = set(names) | set(pin_names)
+        for connection in self.connections:
+            for endpoint in connection.endpoints():
+                if endpoint not in known:
+                    raise ValueError(
+                        f"connection endpoint {endpoint!r} is neither a region nor a pin"
+                    )
+        for pin in self.pins:
+            if not (0 <= pin.col < self.device.width and 0 <= pin.row < self.device.height):
+                raise ValueError(f"pin {pin.name!r} lies outside the device")
+
+        available = self.device.total_resources()
+        demanded = ResourceVector.zero()
+        for region in self.regions:
+            demanded = demanded + region.requirements
+        if not available.covers(demanded):
+            missing = available.deficit(demanded)
+            raise ValueError(
+                f"device {self.device.name!r} cannot satisfy aggregate demand; "
+                f"missing {missing.as_dict()}"
+            )
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def partition(self) -> ColumnarPartition:
+        """Columnar partition of the device (computed once, cached)."""
+        return columnar_partition(self.device)
+
+    def region_by_name(self, name: str) -> Region:
+        """Look a region up by name."""
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"unknown region {name!r}")
+
+    def pin_by_name(self, name: str) -> IOPin:
+        """Look a pin up by name."""
+        for pin in self.pins:
+            if pin.name == name:
+                return pin
+        raise KeyError(f"unknown pin {name!r}")
+
+    @property
+    def region_names(self) -> List[str]:
+        """Region names in declaration order."""
+        return [r.name for r in self.regions]
+
+    def frames_per_resource_type(self) -> Dict[ResourceType, int]:
+        """Frames of the tile type providing each resource type.
+
+        Assumes, like the paper, that each tile type contributes a single
+        resource type (CLB/BRAM/DSP tiles); raises if a resource type is
+        provided by tile types with different frame counts.
+        """
+        mapping: Dict[ResourceType, int] = {}
+        for tile_type in self.device.tile_type_list:
+            for rtype, count in tile_type.resources:
+                if count <= 0:
+                    continue
+                if rtype in mapping and mapping[rtype] != tile_type.frames:
+                    raise ValueError(
+                        f"resource {rtype} provided by tile types with different frame counts"
+                    )
+                mapping[rtype] = tile_type.frames
+        return mapping
+
+    def required_frames(self, region: Region | str) -> int:
+        """Minimum frames required by a region on this device (Table I column)."""
+        if isinstance(region, str):
+            region = self.region_by_name(region)
+        return region.required_frames(self.frames_per_resource_type())
+
+    def total_required_frames(self) -> int:
+        """Sum of minimum frames over all regions."""
+        return sum(self.required_frames(region) for region in self.regions)
+
+    def connection_weight_total(self) -> float:
+        """Sum of connection weights (used to normalize the wirelength cost)."""
+        return sum(connection.weight for connection in self.connections)
+
+    def __repr__(self) -> str:
+        return (
+            f"FloorplanProblem({self.name!r}, device={self.device.name!r}, "
+            f"{len(self.regions)} regions, {len(self.connections)} connections)"
+        )

@@ -1,0 +1,158 @@
+"""Sequence-pair representation of a placement.
+
+The HO ("Heuristic Optimal") algorithm of [10] extracts the sequence pair of a
+first feasible solution and uses it as an additional constraint: for every pair
+of areas the relative position (left-of / right-of / below / above) implied by
+the sequence pair is fixed, which removes the pairwise disjunction binaries
+from the MILP and shrinks the search space dramatically.
+
+Section II.A of the 2015 paper notes that when relocation is used as a
+constraint under HO, the heuristic input must also place the free-compatible
+areas so that the sequence pair naturally covers them too — which is exactly
+how :class:`~repro.floorplan.ho.HOSeeder` uses this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import networkx as nx
+
+from repro.floorplan.geometry import Rect
+
+#: Relative positions encoded by a sequence pair.
+RELATION_LEFT = "left"
+RELATION_RIGHT = "right"
+RELATION_BELOW = "below"
+RELATION_ABOVE = "above"
+
+
+@dataclasses.dataclass(frozen=True)
+class SequencePair:
+    """A sequence pair ``(Gamma+, Gamma-)`` over a set of area names.
+
+    The classic semantics are used:
+
+    * ``a`` before ``b`` in both sequences       -> ``a`` is left of ``b``;
+    * ``a`` before ``b`` only in ``Gamma-``      -> ``a`` is below ``b``;
+    * the two remaining cases are the mirror images.
+    """
+
+    gamma_plus: Tuple[str, ...]
+    gamma_minus: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if set(self.gamma_plus) != set(self.gamma_minus):
+            raise ValueError("the two sequences must contain the same names")
+        if len(set(self.gamma_plus)) != len(self.gamma_plus):
+            raise ValueError("sequence pair entries must be unique")
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Area names in ``Gamma+`` order."""
+        return self.gamma_plus
+
+    def relation(self, a: str, b: str) -> str:
+        """Relative position of ``a`` with respect to ``b``."""
+        if a == b:
+            raise ValueError("relation of an area with itself is undefined")
+        pos_plus = {name: i for i, name in enumerate(self.gamma_plus)}
+        pos_minus = {name: i for i, name in enumerate(self.gamma_minus)}
+        before_plus = pos_plus[a] < pos_plus[b]
+        before_minus = pos_minus[a] < pos_minus[b]
+        if before_plus and before_minus:
+            return RELATION_LEFT
+        if not before_plus and not before_minus:
+            return RELATION_RIGHT
+        if not before_plus and before_minus:
+            return RELATION_BELOW
+        return RELATION_ABOVE
+
+    def relations(self) -> Dict[Tuple[str, str], str]:
+        """Relation for every ordered pair ``(a, b)`` with ``a != b``."""
+        result = {}
+        for a in self.gamma_plus:
+            for b in self.gamma_plus:
+                if a != b:
+                    result[(a, b)] = self.relation(a, b)
+        return result
+
+    def is_consistent_with(self, rects: Mapping[str, Rect]) -> bool:
+        """Whether a placement satisfies every relation of the pair."""
+        for (a, b), relation in self.relations().items():
+            if a not in rects or b not in rects:
+                continue
+            ra, rb = rects[a], rects[b]
+            if relation == RELATION_LEFT and not ra.col_end < rb.col:
+                return False
+            if relation == RELATION_BELOW and not ra.row_end < rb.row:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_rects(rects: Mapping[str, Rect]) -> "SequencePair":
+        """Extract a sequence pair consistent with a non-overlapping placement.
+
+        For every pair of rectangles a separating direction is chosen
+        (horizontal separation wins ties), the two induced partial orders are
+        built and topologically sorted into ``Gamma+`` and ``Gamma-``.
+
+        Raises
+        ------
+        ValueError
+            If two rectangles overlap (no separating direction exists).
+        """
+        names = sorted(rects.keys())
+        relations: Dict[Tuple[str, str], str] = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                relations[(a, b)] = _separating_relation(a, b, rects[a], rects[b])
+
+        # Gamma+ partial order: a < b when a left-of b OR a above b.
+        # Gamma- partial order: a < b when a left-of b OR a below b.
+        graph_plus = nx.DiGraph()
+        graph_minus = nx.DiGraph()
+        graph_plus.add_nodes_from(names)
+        graph_minus.add_nodes_from(names)
+        for (a, b), relation in relations.items():
+            if relation == RELATION_LEFT:
+                graph_plus.add_edge(a, b)
+                graph_minus.add_edge(a, b)
+            elif relation == RELATION_RIGHT:
+                graph_plus.add_edge(b, a)
+                graph_minus.add_edge(b, a)
+            elif relation == RELATION_BELOW:
+                graph_plus.add_edge(b, a)
+                graph_minus.add_edge(a, b)
+            else:  # a above b
+                graph_plus.add_edge(a, b)
+                graph_minus.add_edge(b, a)
+
+        gamma_plus = tuple(nx.lexicographical_topological_sort(graph_plus))
+        gamma_minus = tuple(nx.lexicographical_topological_sort(graph_minus))
+        return SequencePair(gamma_plus=gamma_plus, gamma_minus=gamma_minus)
+
+    @staticmethod
+    def from_floorplan(floorplan) -> "SequencePair":
+        """Extract the sequence pair of a solved floorplan (regions + FC areas)."""
+        rects = {p.name: p.rect for p in floorplan.all_placements()}
+        return SequencePair.from_rects(rects)
+
+
+def _separating_relation(a: str, b: str, ra: Rect, rb: Rect) -> str:
+    """Pick the relation of ``a`` w.r.t. ``b`` for two disjoint rectangles."""
+    if ra.col_end < rb.col:
+        return RELATION_LEFT
+    if rb.col_end < ra.col:
+        return RELATION_RIGHT
+    if ra.row_end < rb.row:
+        return RELATION_BELOW
+    if rb.row_end < ra.row:
+        return RELATION_ABOVE
+    raise ValueError(
+        f"rectangles {a!r} ({ra}) and {b!r} ({rb}) overlap; "
+        "a sequence pair requires a non-overlapping placement"
+    )

@@ -1,0 +1,222 @@
+"""User-facing floorplanning facade.
+
+:class:`FloorplanSolver` wires together the base MILP (:mod:`milp_builder`),
+the relocation extension (:mod:`repro.relocation.constraints`), the HO seeding
+machinery (:mod:`ho`) and the MILP backends, and returns a
+:class:`SolveReport` bundling the floorplan, the raw solver result, the
+measured metrics and an independent feasibility verification.
+
+Typical usage::
+
+    problem = sdr_problem()
+    spec = RelocationSpec.as_constraint({"Carrier Recovery": 2, "Demodulator": 2})
+    solver = FloorplanSolver(problem, relocation=spec, mode="HO",
+                             options=SolverOptions(time_limit=60))
+    report = solver.solve()
+    print(render_floorplan(report.floorplan))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.floorplan.metrics import (
+    FloorplanMetrics,
+    ObjectiveWeights,
+    evaluate_floorplan,
+)
+from repro.floorplan.milp_builder import FloorplanMILP, build_floorplan_milp
+from repro.floorplan.placement import Floorplan
+from repro.floorplan.problem import FloorplanProblem
+from repro.floorplan.verify import VerificationReport, verify_floorplan
+from repro.milp import MILPSolution, SolverOptions, solve
+
+
+@dataclasses.dataclass
+class SolveReport:
+    """Everything produced by one :meth:`FloorplanSolver.solve` call."""
+
+    floorplan: Floorplan
+    solution: MILPSolution
+    metrics: Optional[FloorplanMetrics]
+    verification: Optional[VerificationReport]
+    milp: FloorplanMILP
+
+    @property
+    def feasible(self) -> bool:
+        """Whether a verified-feasible floorplan was obtained."""
+        return (
+            self.solution.status.has_solution
+            and self.verification is not None
+            and self.verification.is_feasible
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        lines = [
+            f"status: {self.solution.status.value} (backend {self.solution.backend}, "
+            f"{self.solution.solve_time:.2f}s)",
+        ]
+        if self.metrics is not None:
+            lines.append(
+                f"wasted frames: {self.metrics.wasted_frames}, "
+                f"wirelength: {self.metrics.wirelength:.1f}, "
+                f"free-compatible areas: {self.metrics.free_compatible_areas}"
+            )
+        if self.verification is not None:
+            lines.append(f"verification: {self.verification.summary()}")
+        return "\n".join(lines)
+
+
+class FloorplanSolver:
+    """Relocation-aware MILP floorplanner (O and HO modes).
+
+    Parameters
+    ----------
+    problem:
+        The floorplanning instance.
+    relocation:
+        Optional :class:`~repro.relocation.spec.RelocationSpec`; when omitted
+        the solver behaves exactly like the base floorplanner of [10].
+    mode:
+        ``"O"`` explores the full search space; ``"HO"`` constrains the MILP
+        with the sequence pair of a heuristic seed.
+    options:
+        MILP backend options (time limit, gap, backend choice).
+    heuristic:
+        Heuristic used to produce the HO seed (``"tessellation"``,
+        ``"first-fit"`` or ``"annealing"``).
+    seed_floorplan:
+        Optional externally-provided heuristic floorplan used as the HO seed
+        (free-compatible areas are added on top if the spec requires them).
+    """
+
+    def __init__(
+        self,
+        problem: FloorplanProblem,
+        relocation=None,
+        mode: str = "O",
+        options: SolverOptions | None = None,
+        heuristic: str = "tessellation",
+        seed_floorplan: Floorplan | None = None,
+    ) -> None:
+        mode = mode.upper()
+        if mode not in ("O", "HO"):
+            raise ValueError(f"mode must be 'O' or 'HO', got {mode!r}")
+        self.problem = problem
+        self.relocation = relocation
+        self.mode = mode
+        self.options = options or SolverOptions()
+        self.heuristic = heuristic
+        self.seed_floorplan = seed_floorplan
+        self._seed = None  # populated lazily in HO mode
+
+    # ------------------------------------------------------------------
+    def build(self, weights: ObjectiveWeights | None = None) -> FloorplanMILP:
+        """Build the (relocation-extended) MILP without solving it."""
+        from repro.relocation.constraints import apply_relocation_constraints
+
+        extra_areas = []
+        fixed_relations: Dict[Tuple[str, str], str] | None = None
+
+        if self.relocation is not None and len(self.relocation) > 0:
+            extra_areas = self.relocation.build_area_specs(self.problem)
+
+        if self.mode == "HO":
+            from repro.floorplan.ho import HOSeeder
+
+            seeder = HOSeeder(self.problem)
+            self._seed = seeder.build_seed(
+                spec=self.relocation, heuristic=self.heuristic, initial=self.seed_floorplan
+            )
+            fixed_relations = self._seed.fixed_relations()
+
+        milp = build_floorplan_milp(
+            self.problem,
+            extra_areas=extra_areas,
+            fixed_relations=fixed_relations,
+            model_name=f"{self.problem.name}[{self.mode}]",
+        )
+        if extra_areas:
+            apply_relocation_constraints(milp)
+        milp.set_objective(weights)
+        return milp
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        weights: ObjectiveWeights | None = None,
+        lexicographic: bool = False,
+    ) -> SolveReport:
+        """Solve the instance.
+
+        Parameters
+        ----------
+        weights:
+            Objective weights of eq. 14 (defaults to
+            :meth:`ObjectiveWeights.paper_default`).
+        lexicographic:
+            Reproduce the Section VI protocol: first minimize wasted frames,
+            then — with the wasted-frame count fixed at its optimum — minimize
+            wirelength.
+        """
+        weights = weights or ObjectiveWeights.paper_default()
+        milp = self.build(weights=weights)
+
+        if lexicographic:
+            return self._solve_lexicographic(milp, weights)
+
+        solution = solve(milp.model, self.options)
+        return self._finalize(milp, solution)
+
+    # ------------------------------------------------------------------
+    def _solve_lexicographic(
+        self, milp: FloorplanMILP, weights: ObjectiveWeights
+    ) -> SolveReport:
+        # Phase 1: wasted frames (plus the relocation term when in soft mode,
+        # since missing areas are part of the primary cost in Section V).
+        phase1_weights = ObjectiveWeights(
+            wirelength=0.0,
+            perimeter=0.0,
+            wasted_frames=1.0,
+            relocation=weights.relocation,
+        )
+        milp.set_objective(phase1_weights)
+        first = solve(milp.model, self.options)
+        if not first.status.has_solution:
+            return self._finalize(milp, first)
+
+        wasted_value = milp.wasted_frames_expr.evaluate(first.values)
+        # Phase 2: fix the area cost (allowing round-off slack) and polish wires.
+        milp.model.add(
+            milp.wasted_frames_expr <= wasted_value + 1e-6, name="lex_area_cap"
+        )
+        phase2_weights = ObjectiveWeights(
+            wirelength=1.0,
+            perimeter=weights.perimeter,
+            wasted_frames=0.0,
+            relocation=weights.relocation,
+        )
+        milp.set_objective(phase2_weights)
+        second = solve(milp.model, self.options)
+        chosen = second if second.status.has_solution else first
+        return self._finalize(milp, chosen)
+
+    # ------------------------------------------------------------------
+    def _finalize(self, milp: FloorplanMILP, solution: MILPSolution) -> SolveReport:
+        floorplan = milp.extract(solution)
+        if self._seed is not None:
+            floorplan.metadata["ho_seed_status"] = self._seed.floorplan.solver_status
+        metrics = None
+        verification = None
+        if solution.status.has_solution and floorplan.is_complete:
+            metrics = evaluate_floorplan(floorplan)
+            verification = verify_floorplan(floorplan)
+        return SolveReport(
+            floorplan=floorplan,
+            solution=solution,
+            metrics=metrics,
+            verification=verification,
+            milp=milp,
+        )

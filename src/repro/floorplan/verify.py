@@ -1,0 +1,156 @@
+"""MILP-independent feasibility checking of floorplans.
+
+The verifier re-derives every constraint of the formulation directly from the
+geometry of a :class:`~repro.floorplan.placement.Floorplan`:
+
+* placements inside the device;
+* no overlap among regions, free-compatible areas and forbidden areas;
+* resource coverage of every region;
+* optional caps on region extent;
+* free-compatible areas actually compatible (Definition .2) with their region.
+
+It is used by the tests to cross-check the MILP solutions, by the heuristics
+to validate their output, and by the property-based tests as the ground truth
+oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.floorplan.placement import Floorplan, RegionPlacement
+
+
+@dataclasses.dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_floorplan`."""
+
+    violations: List[str] = dataclasses.field(default_factory=list)
+    warnings: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def is_feasible(self) -> bool:
+        """True when no hard violation was found."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.is_feasible
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.is_feasible:
+            extra = f" ({len(self.warnings)} warnings)" if self.warnings else ""
+            return "feasible" + extra
+        return f"INFEASIBLE: {len(self.violations)} violations"
+
+
+def verify_floorplan(
+    floorplan: Floorplan, check_relocation: bool = True
+) -> VerificationReport:
+    """Check a floorplan against every constraint of the problem.
+
+    Parameters
+    ----------
+    floorplan:
+        The floorplan to check.
+    check_relocation:
+        Also check that every *satisfied* free-compatible area is actually
+        free-compatible (Definition .2) with its region.
+    """
+    report = VerificationReport()
+    problem = floorplan.problem
+    device = problem.device
+
+    # every region placed
+    for name in problem.region_names:
+        if name not in floorplan.placements:
+            report.violations.append(f"region {name!r} has no placement")
+
+    all_areas: List[RegionPlacement] = list(floorplan.all_placements())
+
+    # bounds and forbidden cells
+    for placement in all_areas:
+        if placement.is_free_compatible_area and not placement.satisfied:
+            continue  # unsatisfied soft areas carry no geometric guarantees
+        rect = placement.rect
+        if not rect.within(device.width, device.height):
+            report.violations.append(
+                f"{placement.name!r} at {rect} exceeds device bounds "
+                f"{device.width}x{device.height}"
+            )
+            continue
+        for col, row in rect.cells():
+            if device.is_forbidden(col, row):
+                report.violations.append(
+                    f"{placement.name!r} covers forbidden cell ({col}, {row})"
+                )
+                break
+
+    # pairwise non-overlap
+    effective = [
+        p for p in all_areas if not (p.is_free_compatible_area and not p.satisfied)
+    ]
+    for i, first in enumerate(effective):
+        for second in effective[i + 1 :]:
+            if first.rect.overlaps(second.rect):
+                report.violations.append(
+                    f"{first.name!r} and {second.name!r} overlap "
+                    f"({first.rect} vs {second.rect})"
+                )
+
+    # resource coverage and extent caps
+    for name, placement in floorplan.placements.items():
+        try:
+            region = problem.region_by_name(name)
+        except KeyError:
+            report.warnings.append(f"placement {name!r} does not match any region")
+            continue
+        if not placement.rect.within(device.width, device.height):
+            continue  # already reported above
+        covered = placement.covered_resources(device)
+        if not covered.covers(region.requirements):
+            missing = covered.deficit(region.requirements)
+            report.violations.append(
+                f"region {name!r} lacks resources {missing.as_dict()} "
+                f"(covers {covered.as_dict()})"
+            )
+        if region.max_width is not None and placement.rect.width > region.max_width:
+            report.violations.append(
+                f"region {name!r} wider than its cap ({placement.rect.width} > {region.max_width})"
+            )
+        if region.max_height is not None and placement.rect.height > region.max_height:
+            report.violations.append(
+                f"region {name!r} taller than its cap ({placement.rect.height} > {region.max_height})"
+            )
+
+    # free-compatible areas actually compatible with their region
+    if check_relocation and floorplan.free_areas:
+        from repro.relocation.compatibility import areas_compatible
+
+        partition = problem.partition
+        for name, area in floorplan.free_areas.items():
+            if not area.satisfied:
+                report.warnings.append(
+                    f"free-compatible area {name!r} was not satisfied by the solver"
+                )
+                continue
+            if area.compatible_with is None:
+                report.violations.append(
+                    f"free-compatible area {name!r} does not reference a region"
+                )
+                continue
+            if area.compatible_with not in floorplan.placements:
+                report.violations.append(
+                    f"free-compatible area {name!r} references unplaced region "
+                    f"{area.compatible_with!r}"
+                )
+                continue
+            region_rect = floorplan.placements[area.compatible_with].rect
+            if not areas_compatible(partition, region_rect, area.rect):
+                report.violations.append(
+                    f"area {name!r} at {area.rect} is not compatible with region "
+                    f"{area.compatible_with!r} at {region_rect}"
+                )
+
+    return report

@@ -1,0 +1,230 @@
+"""Pure-Python branch-and-bound MILP solver.
+
+This backend exists for two reasons:
+
+* it removes the hard dependency on HiGHS MIP support (only LP is needed), and
+* it provides a transparent reference implementation used by the ablation
+  benchmarks (``benchmarks/bench_ablation_modes.py``) to study how much of the
+  paper's runtime story is attributable to the solver rather than the model.
+
+The algorithm is a textbook LP-based branch and bound:
+
+1. solve the LP relaxation with ``scipy.optimize.linprog`` (HiGHS simplex/IPM);
+2. if the relaxation is integral, update the incumbent;
+3. otherwise branch on the most fractional integer variable, exploring the
+   child whose bound is closer to the incumbent first (best-first on a heap).
+
+It is exact but not fast; use it on small models (tests, small synthetic
+devices) and keep the HiGHS MIP backend for the SDR-scale instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.milp.model import MatrixForm, Model
+from repro.milp.solution import MILPSolution, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    priority: float
+    count: int
+    lower: np.ndarray = None  # type: ignore[assignment]
+    upper: np.ndarray = None  # type: ignore[assignment]
+
+
+def solve_with_branch_bound(
+    model: Model,
+    time_limit: float | None = None,
+    mip_gap: float | None = None,
+    max_nodes: int = 200_000,
+    verbose: bool = False,
+) -> MILPSolution:
+    """Solve ``model`` with LP-based branch and bound.
+
+    Parameters mirror :func:`repro.milp.scipy_backend.solve_with_scipy`;
+    ``max_nodes`` bounds the search tree as a safety valve.
+    """
+    form = model.to_matrix_form()
+    start = time.perf_counter()
+    deadline = None if time_limit is None else start + float(time_limit)
+    gap_target = 0.0 if mip_gap is None else float(mip_gap)
+
+    nvars = len(form.variables)
+    if nvars == 0:
+        return MILPSolution(
+            status=SolveStatus.OPTIMAL, objective=0.0, values={}, bound=0.0,
+            backend="branch-bound", message="empty model",
+        )
+
+    integer_indices = np.flatnonzero(form.integrality > 0)
+
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf
+    best_bound = -math.inf
+    nodes_explored = 0
+    counter = itertools.count()
+
+    root = _Node(priority=-math.inf, count=next(counter),
+                 lower=form.var_lb.copy(), upper=form.var_ub.copy())
+    heap: List[_Node] = [root]
+    timed_out = False
+
+    while heap:
+        if deadline is not None and time.perf_counter() > deadline:
+            timed_out = True
+            break
+        if nodes_explored >= max_nodes:
+            timed_out = True
+            break
+
+        node = heapq.heappop(heap)
+        nodes_explored += 1
+
+        relaxation = _solve_lp(form, node.lower, node.upper)
+        if relaxation is None:
+            continue  # infeasible subproblem
+        obj, x = relaxation
+
+        if obj >= incumbent_obj - 1e-9:
+            continue  # pruned by bound
+
+        fractional = _most_fractional(x, integer_indices)
+        if fractional is None:
+            # integral solution: new incumbent
+            if obj < incumbent_obj:
+                incumbent_obj = obj
+                incumbent_x = x.copy()
+            continue
+
+        idx, value = fractional
+        floor_val = math.floor(value + _INT_TOL)
+
+        lower_child = _Node(priority=obj, count=next(counter),
+                            lower=node.lower.copy(), upper=node.upper.copy())
+        lower_child.upper[idx] = floor_val
+        upper_child = _Node(priority=obj, count=next(counter),
+                            lower=node.lower.copy(), upper=node.upper.copy())
+        upper_child.lower[idx] = floor_val + 1
+        heapq.heappush(heap, lower_child)
+        heapq.heappush(heap, upper_child)
+
+        # optional early stop on gap
+        if heap and incumbent_obj < math.inf:
+            best_bound = heap[0].priority
+            if best_bound > -math.inf:
+                gap = abs(incumbent_obj - best_bound) / max(1.0, abs(incumbent_obj))
+                if gap <= gap_target:
+                    break
+
+    elapsed = time.perf_counter() - start
+
+    if incumbent_x is None:
+        status = SolveStatus.TIME_LIMIT if timed_out else SolveStatus.INFEASIBLE
+        return MILPSolution(
+            status=status, solve_time=elapsed, node_count=nodes_explored,
+            backend="branch-bound",
+            message="no incumbent found" if timed_out else "search exhausted without incumbent",
+        )
+
+    proven_optimal = not timed_out and not heap
+    if not heap:
+        best_bound = incumbent_obj
+    elif heap:
+        best_bound = min(n.priority for n in heap)
+        best_bound = min(best_bound, incumbent_obj)
+
+    values = {}
+    for var, val in zip(form.variables, incumbent_x):
+        values[var] = float(round(val)) if var.is_integral else float(val)
+    objective = model.objective_value(values)
+    user_bound = best_bound if model.is_minimization else -best_bound
+
+    return MILPSolution(
+        status=SolveStatus.OPTIMAL if proven_optimal else SolveStatus.FEASIBLE,
+        objective=objective,
+        values=values,
+        bound=user_bound,
+        solve_time=elapsed,
+        node_count=nodes_explored,
+        backend="branch-bound",
+        message="optimal" if proven_optimal else "stopped early with incumbent",
+    )
+
+
+def _solve_lp(
+    form: MatrixForm, lower: np.ndarray, upper: np.ndarray
+) -> Optional[Tuple[float, np.ndarray]]:
+    """Solve the LP relaxation restricted to the node's bounds."""
+    if np.any(lower > upper + 1e-12):
+        return None
+    a_ub_parts = []
+    b_ub_parts = []
+    a_eq_parts = []
+    b_eq_parts = []
+    matrix = form.constraint_matrix
+    lb = form.constraint_lb
+    ub = form.constraint_ub
+    finite_ub = np.isfinite(ub)
+    finite_lb = np.isfinite(lb)
+    equality = finite_lb & finite_ub & (np.abs(ub - lb) < 1e-12)
+    ineq_ub = finite_ub & ~equality
+    ineq_lb = finite_lb & ~equality
+    if np.any(ineq_ub):
+        a_ub_parts.append(matrix[ineq_ub])
+        b_ub_parts.append(ub[ineq_ub])
+    if np.any(ineq_lb):
+        a_ub_parts.append(-matrix[ineq_lb])
+        b_ub_parts.append(-lb[ineq_lb])
+    if np.any(equality):
+        a_eq_parts.append(matrix[equality])
+        b_eq_parts.append(lb[equality])
+
+    from scipy import sparse as _sparse
+
+    a_ub = _sparse.vstack(a_ub_parts) if a_ub_parts else None
+    b_ub = np.concatenate(b_ub_parts) if b_ub_parts else None
+    a_eq = _sparse.vstack(a_eq_parts) if a_eq_parts else None
+    b_eq = np.concatenate(b_eq_parts) if b_eq_parts else None
+
+    bounds = list(zip(
+        [l if np.isfinite(l) else None for l in lower],
+        [u if np.isfinite(u) else None for u in upper],
+    ))
+    result = linprog(
+        c=form.objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return None
+    return float(result.fun), np.asarray(result.x)
+
+
+def _most_fractional(
+    x: np.ndarray, integer_indices: np.ndarray
+) -> Optional[Tuple[int, float]]:
+    """Index and value of the integer variable farthest from integrality."""
+    if integer_indices.size == 0:
+        return None
+    vals = x[integer_indices]
+    frac = np.abs(vals - np.round(vals))
+    worst = int(np.argmax(frac))
+    if frac[worst] <= _INT_TOL:
+        return None
+    return int(integer_indices[worst]), float(vals[worst])

@@ -1,0 +1,75 @@
+"""Linear constraints.
+
+A constraint is stored in the normalized form ``expr (<=|>=|==) 0`` where
+``expr`` is an affine :class:`~repro.milp.expr.LinExpr`.  Comparison operators
+on expressions/variables produce :class:`Constraint` objects directly, so the
+model-building code reads like the paper's inequalities.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+from repro.milp.expr import LinExpr, Variable
+
+
+class Sense(enum.Enum):
+    """Direction of a linear constraint (after moving everything to the LHS)."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Constraint:
+    """A linear constraint ``lhs sense 0``.
+
+    Parameters
+    ----------
+    lhs:
+        Affine expression already normalized so that the right-hand side is 0.
+    sense:
+        Constraint direction.
+    name:
+        Optional name, normally assigned when the constraint is added to a
+        :class:`~repro.milp.model.Model`.
+    """
+
+    __slots__ = ("lhs", "sense", "name")
+
+    def __init__(self, lhs: LinExpr, sense: Sense, name: str | None = None) -> None:
+        self.lhs = lhs
+        self.sense = sense
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def rhs(self) -> float:
+        """Right-hand side when written as ``terms sense rhs``."""
+        return -self.lhs.constant
+
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` on the left-hand side."""
+        return self.lhs.coefficient(var)
+
+    def violation(self, values: Mapping[Variable, float]) -> float:
+        """Amount by which the constraint is violated under an assignment.
+
+        Returns 0.0 when satisfied; positive values measure the violation in
+        the constraint's own units.
+        """
+        value = self.lhs.evaluate(values)
+        if self.sense is Sense.LE:
+            return max(0.0, value)
+        if self.sense is Sense.GE:
+            return max(0.0, -value)
+        return abs(value)
+
+    def is_satisfied(self, values: Mapping[Variable, float], tol: float = 1e-6) -> bool:
+        """Whether the assignment satisfies the constraint within ``tol``."""
+        return self.violation(values) <= tol
+
+    def __repr__(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"Constraint({self.lhs!r} {self.sense.value} 0{label})"

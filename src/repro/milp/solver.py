@@ -1,0 +1,62 @@
+"""Solve facade dispatching between MILP backends."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.milp.branch_bound import solve_with_branch_bound
+from repro.milp.model import Model
+from repro.milp.scipy_backend import solve_with_scipy
+from repro.milp.solution import MILPSolution
+
+
+@dataclasses.dataclass
+class SolverOptions:
+    """Options shared by all MILP backends.
+
+    Attributes
+    ----------
+    backend:
+        ``"highs"`` (scipy/HiGHS branch-and-cut, default) or ``"branch-bound"``
+        (pure-Python reference implementation).
+    time_limit:
+        Wall-clock limit in seconds, or ``None`` for no limit.
+    mip_gap:
+        Relative optimality gap at which the solver may stop.
+    max_nodes:
+        Node budget for the branch-and-bound backend.
+    verbose:
+        Enable backend log output.
+    """
+
+    backend: str = "highs"
+    time_limit: float | None = None
+    mip_gap: float | None = None
+    max_nodes: int = 200_000
+    verbose: bool = False
+
+    def replace(self, **changes) -> "SolverOptions":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def solve(model: Model, options: SolverOptions | None = None) -> MILPSolution:
+    """Solve ``model`` with the backend selected in ``options``."""
+    options = options or SolverOptions()
+    backend = options.backend.lower()
+    if backend in ("highs", "scipy", "scipy-highs"):
+        return solve_with_scipy(
+            model,
+            time_limit=options.time_limit,
+            mip_gap=options.mip_gap,
+            verbose=options.verbose,
+        )
+    if backend in ("branch-bound", "bb", "branch_and_bound"):
+        return solve_with_branch_bound(
+            model,
+            time_limit=options.time_limit,
+            mip_gap=options.mip_gap,
+            max_nodes=options.max_nodes,
+            verbose=options.verbose,
+        )
+    raise ValueError(f"unknown MILP backend {options.backend!r}")

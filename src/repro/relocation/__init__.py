@@ -1,0 +1,47 @@
+"""Bitstream-relocation support for the floorplanner (the paper's contribution).
+
+* :mod:`~repro.relocation.compatibility` — the geometric predicates behind
+  Definitions .1 and .2 (area compatibility, free-compatibility) plus an
+  enumerator of compatible positions;
+* :mod:`~repro.relocation.spec` — the designer-facing
+  :class:`~repro.relocation.spec.RelocationSpec` (how many free-compatible
+  areas per region, hard constraint vs soft metric, weights);
+* :mod:`~repro.relocation.constraints` — the MILP extension of Section IV
+  (offset variables, eqs. 4–10);
+* :mod:`~repro.relocation.metric` — the soft-constraint variant of Section V
+  (violation binaries, eqs. 11–13, the RLcost objective term);
+* :mod:`~repro.relocation.analysis` — the Section VI feasibility analysis and
+  a geometric enumerator of free-compatible areas for already-solved
+  floorplans.
+"""
+
+from repro.relocation.compatibility import (
+    areas_compatible,
+    compatible_column_offsets,
+    enumerate_free_compatible_areas,
+    is_free_compatible,
+)
+from repro.relocation.spec import RelocationRequest, RelocationSpec
+from repro.relocation.constraints import RelocationVariables, apply_relocation_constraints
+from repro.relocation.metric import relocation_cost, relocation_summary
+from repro.relocation.analysis import (
+    FeasibilityResult,
+    feasibility_analysis,
+    count_reachable_copies,
+)
+
+__all__ = [
+    "areas_compatible",
+    "compatible_column_offsets",
+    "enumerate_free_compatible_areas",
+    "is_free_compatible",
+    "RelocationRequest",
+    "RelocationSpec",
+    "RelocationVariables",
+    "apply_relocation_constraints",
+    "relocation_cost",
+    "relocation_summary",
+    "FeasibilityResult",
+    "feasibility_analysis",
+    "count_reachable_copies",
+]

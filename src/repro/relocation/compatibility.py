@@ -1,0 +1,153 @@
+"""Area compatibility predicates (Definitions .1 and .2).
+
+Two areas are *compatible* when they have the same shape, size and relative
+positioning of tiles of the same type; an area is *free-compatible* with
+respect to a region when it is compatible and does not overlap any other
+placed area or forbidden area.
+
+On a columnar-partitioned device the tile type of a cell depends only on its
+column, so compatibility of two equally-sized rectangles reduces to comparing
+the column-type sequences of their column ranges — which is what the
+functions below exploit (and what makes exhaustive enumeration cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.device.partition import ColumnarPartition
+from repro.floorplan.geometry import Rect
+
+
+def areas_compatible(partition: ColumnarPartition, a: Rect, b: Rect) -> bool:
+    """Definition .2's compatibility core: same shape, size and tile layout.
+
+    Both rectangles must lie inside the device; the relative positioning of
+    tile types is compared cell by cell (via the per-column effective type of
+    the columnar partition).
+    """
+    if a.width != b.width or a.height != b.height:
+        return False
+    if not a.within(partition.width, partition.height):
+        return False
+    if not b.within(partition.width, partition.height):
+        return False
+    for offset in range(a.width):
+        if partition.column_type(a.col + offset) != partition.column_type(b.col + offset):
+            return False
+    return True
+
+
+def _rect_touches_forbidden(partition: ColumnarPartition, rect: Rect) -> bool:
+    for area in partition.forbidden_areas:
+        if rect.col > area.col_end or rect.col_end < area.col_start:
+            continue
+        if any(rect.row <= row <= rect.row_end for row in area.rows):
+            return True
+    return False
+
+
+def is_free_compatible(
+    partition: ColumnarPartition,
+    region_rect: Rect,
+    candidate: Rect,
+    occupied: Iterable[Rect] = (),
+) -> bool:
+    """Definition .2: candidate is compatible with the region and free.
+
+    ``occupied`` lists every rectangle the candidate must not overlap: the
+    placements of all reconfigurable regions (including the source region)
+    and any already-reserved free-compatible area.
+    """
+    if not areas_compatible(partition, region_rect, candidate):
+        return False
+    if _rect_touches_forbidden(partition, candidate):
+        return False
+    for rect in occupied:
+        if candidate.overlaps(rect):
+            return False
+    return True
+
+
+def compatible_column_offsets(
+    partition: ColumnarPartition, rect: Rect
+) -> List[int]:
+    """Leftmost columns at which a compatible copy of ``rect`` could start.
+
+    Because tile types are constant along a column, a copy placed with its
+    left edge at column ``c`` is compatible iff the column-type sequence of
+    ``c .. c+width-1`` equals that of the original rectangle; the row position
+    is unconstrained by compatibility (only by overlap/forbidden checks).
+    The original column is included in the result.
+    """
+    if not rect.within(partition.width, partition.height):
+        raise ValueError(f"rectangle {rect} lies outside the device")
+    signature = [partition.column_type(rect.col + off) for off in range(rect.width)]
+    offsets: List[int] = []
+    for col in range(0, partition.width - rect.width + 1):
+        if all(
+            partition.column_type(col + off) == signature[off]
+            for off in range(rect.width)
+        ):
+            offsets.append(col)
+    return offsets
+
+
+def enumerate_free_compatible_areas(
+    partition: ColumnarPartition,
+    region_rect: Rect,
+    occupied: Sequence[Rect] = (),
+    include_original: bool = False,
+    limit: int | None = None,
+) -> List[Rect]:
+    """Enumerate every free-compatible area for a placed region.
+
+    Parameters
+    ----------
+    partition:
+        Columnar partition of the device.
+    region_rect:
+        Rectangle currently assigned to the region.
+    occupied:
+        Rectangles that candidates must not overlap (typically all current
+        placements; the region's own rectangle is handled automatically).
+    include_original:
+        Whether the region's own position may be reported (it trivially
+        satisfies compatibility); off by default because a relocation target
+        must differ from the source.
+    limit:
+        Stop after this many candidates (``None`` = enumerate all).
+
+    Returns
+    -------
+    list of Rect
+        Candidates ordered left-to-right then bottom-to-top.  Note that the
+        returned candidates may overlap *each other*; greedy selection of a
+        mutually disjoint subset is done by the callers
+        (:class:`repro.floorplan.ho.HOSeeder`, the run-time manager).
+    """
+    blockers = list(occupied)
+    if not include_original and region_rect not in blockers:
+        blockers.append(region_rect)
+    candidates: List[Rect] = []
+    for col in compatible_column_offsets(partition, region_rect):
+        for row in range(0, partition.height - region_rect.height + 1):
+            candidate = Rect(col, row, region_rect.width, region_rect.height)
+            if not include_original and candidate == region_rect:
+                continue
+            if is_free_compatible(partition, region_rect, candidate, blockers):
+                candidates.append(candidate)
+                if limit is not None and len(candidates) >= limit:
+                    return candidates
+    return candidates
+
+
+def select_disjoint_areas(candidates: Sequence[Rect], count: int) -> List[Rect]:
+    """Greedily pick up to ``count`` mutually non-overlapping candidates."""
+    chosen: List[Rect] = []
+    for candidate in candidates:
+        if len(chosen) >= count:
+            break
+        if all(not candidate.overlaps(existing) for existing in chosen):
+            chosen.append(candidate)
+    return chosen

@@ -1,0 +1,81 @@
+"""Relocation as a metric (Section V): post-solve accounting.
+
+The MILP-side machinery of the soft mode (violation binaries ``v[c]``, the
+relaxed constraints of eqs. 11–12 and the ``RLcost`` objective term of
+eqs. 13–15) lives in :mod:`repro.floorplan.milp_builder` and
+:mod:`repro.relocation.constraints`.  This module provides the matching
+*solution-side* view: given a solved floorplan and the spec that produced it,
+report which free-compatible areas were obtained and what the relocation cost
+of the solution is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.floorplan.placement import Floorplan
+from repro.relocation.spec import RelocationSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionRelocationSummary:
+    """Per-region relocation outcome."""
+
+    region: str
+    requested: int
+    satisfied: int
+    hard: bool
+    weight: float
+
+    @property
+    def missed(self) -> int:
+        """Requested areas that were not obtained."""
+        return self.requested - self.satisfied
+
+    @property
+    def cost(self) -> float:
+        """Contribution to ``RLcost`` (eq. 13)."""
+        return self.weight * self.missed
+
+
+def relocation_summary(
+    floorplan: Floorplan, spec: RelocationSpec
+) -> List[RegionRelocationSummary]:
+    """Summarize the relocation outcome of a solved floorplan."""
+    summaries: List[RegionRelocationSummary] = []
+    for request in spec.requests:
+        areas = floorplan.free_areas_for(request.region)
+        satisfied = sum(1 for area in areas if area.satisfied)
+        summaries.append(
+            RegionRelocationSummary(
+                region=request.region,
+                requested=request.copies,
+                satisfied=satisfied,
+                hard=request.hard,
+                weight=request.weight,
+            )
+        )
+    return summaries
+
+
+def relocation_cost(floorplan: Floorplan, spec: RelocationSpec) -> float:
+    """``RLcost`` of eq. 13 evaluated on a solution."""
+    return sum(summary.cost for summary in relocation_summary(floorplan, spec))
+
+
+def relocation_cost_normalized(floorplan: Floorplan, spec: RelocationSpec) -> float:
+    """``RLcost / RLmax`` — the term that enters the objective of eq. 14."""
+    rl_max = sum(req.weight * req.copies for req in spec.requests)
+    if rl_max <= 0:
+        return 0.0
+    return relocation_cost(floorplan, spec) / rl_max
+
+
+def satisfied_areas_by_region(floorplan: Floorplan) -> Dict[str, int]:
+    """Count of satisfied free-compatible areas keyed by region name."""
+    counts: Dict[str, int] = {}
+    for area in floorplan.free_areas.values():
+        if area.satisfied and area.compatible_with is not None:
+            counts[area.compatible_with] = counts.get(area.compatible_with, 0) + 1
+    return counts

@@ -1,0 +1,206 @@
+"""The partial-reconfiguration run-time manager.
+
+The manager owns a solved floorplan and drives the simulated configuration
+path.  It supports the two operations the paper's introduction motivates:
+
+* **reconfigure** a region with a new mode — generate (or fetch from the
+  bitstream cache) the mode's bitstream for the region's home placement and
+  load it;
+* **relocate** a region's currently-loaded module into one of the
+  free-compatible areas the floorplanner reserved — retarget the bitstream
+  with the relocation filter and load it at the new location, freeing the
+  home placement (e.g. to let another, larger module in, or to route around a
+  faulty area).
+
+Every operation is recorded in a :class:`~repro.runtime.trace.RuntimeTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bitstream.bitstream import PartialBitstream, generate_bitstream
+from repro.bitstream.memory import ConfigurationMemory
+from repro.bitstream.relocate import RelocationError, relocate_bitstream
+from repro.floorplan.geometry import Rect
+from repro.floorplan.placement import Floorplan
+from repro.runtime.trace import EventKind, RuntimeTrace, TraceEvent
+
+
+class RuntimeError_(RuntimeError):
+    """Raised on invalid run-time requests (unknown region, no free area...)."""
+
+
+class ReconfigurationManager:
+    """Drives mode reconfiguration and bitstream relocation on a floorplan."""
+
+    def __init__(self, floorplan: Floorplan) -> None:
+        if not floorplan.is_complete:
+            raise RuntimeError_("the floorplan must place every region")
+        self.floorplan = floorplan
+        self.device = floorplan.device
+        self.partition = floorplan.problem.partition
+        self.memory = ConfigurationMemory(self.device.name)
+        self.trace = RuntimeTrace()
+        self._step = 0
+        # where each region's active module currently lives (home or a free area)
+        self._current_rect: Dict[str, Rect] = {
+            name: placement.rect for name, placement in floorplan.placements.items()
+        }
+        self._current_module: Dict[str, Optional[str]] = {
+            name: None for name in floorplan.placements
+        }
+        self._bitstream_cache: Dict[tuple, PartialBitstream] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def current_location(self, region: str) -> Rect:
+        """Rectangle currently hosting the region's active module."""
+        self._check_region(region)
+        return self._current_rect[region]
+
+    def active_module(self, region: str) -> Optional[str]:
+        """Mode currently loaded for a region (``None`` before the first load)."""
+        self._check_region(region)
+        return self._current_module[region]
+
+    def available_relocation_targets(self, region: str) -> List[Rect]:
+        """Free-compatible areas of the region not currently hosting anyone."""
+        self._check_region(region)
+        occupied = [
+            rect for name, rect in self._current_rect.items() if name != region
+        ]
+        targets = []
+        for area in self.floorplan.free_areas_for(region):
+            if not area.satisfied:
+                continue
+            if area.rect == self._current_rect[region]:
+                continue
+            if any(area.rect.overlaps(rect) for rect in occupied):
+                continue
+            targets.append(area.rect)
+        return targets
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def reconfigure(self, region: str, mode: str) -> PartialBitstream:
+        """Load ``mode`` into the region at its current location."""
+        self._check_region(region)
+        self._step += 1
+        rect = self._current_rect[region]
+        bitstream = self._bitstream_for(region, mode, rect)
+        previous = self._current_module[region]
+        if previous is not None:
+            self.memory.unload(self._module_key(region, previous))
+        self.memory.load(bitstream)
+        self._current_module[region] = mode
+        kind = EventKind.CONFIGURE if previous is None else EventKind.RECONFIGURE
+        self.trace.record(
+            TraceEvent(
+                step=self._step,
+                kind=kind,
+                region=region,
+                module=mode,
+                frames=bitstream.num_frames,
+            )
+        )
+        return bitstream
+
+    def relocate(self, region: str, target: Rect | None = None) -> PartialBitstream:
+        """Move the region's active module into a free-compatible area.
+
+        ``target`` defaults to the first available reserved area.  The home
+        placement (or previous area) is unloaded, so its frames become free
+        for other uses — exactly the design-reuse scenario of the paper.
+        """
+        self._check_region(region)
+        mode = self._current_module[region]
+        if mode is None:
+            raise RuntimeError_(f"region {region!r} has no loaded module to relocate")
+        targets = self.available_relocation_targets(region)
+        if target is None:
+            if not targets:
+                self._step += 1
+                self.trace.record(
+                    TraceEvent(
+                        step=self._step,
+                        kind=EventKind.REJECT,
+                        region=region,
+                        module=mode,
+                        detail="no free-compatible area available",
+                    )
+                )
+                raise RuntimeError_(
+                    f"no free-compatible area available for region {region!r}"
+                )
+            target = targets[0]
+
+        self._step += 1
+        source_rect = self._current_rect[region]
+        source = self._bitstream_for(region, mode, source_rect)
+        occupied = [
+            rect for name, rect in self._current_rect.items() if name != region
+        ]
+        try:
+            relocated = relocate_bitstream(
+                source, target, self.device, self.partition, occupied
+            )
+        except RelocationError as exc:
+            self.trace.record(
+                TraceEvent(
+                    step=self._step,
+                    kind=EventKind.REJECT,
+                    region=region,
+                    module=mode,
+                    detail=str(exc),
+                )
+            )
+            raise RuntimeError_(str(exc)) from exc
+
+        self.memory.unload(self._module_key(region, mode))
+        # relocated bitstream keeps the module identity but a new anchor
+        self.memory.load(relocated, allow_overwrite=False)
+        self._current_rect[region] = target
+        self._bitstream_cache[(region, mode, self._rect_key(target))] = relocated
+        self.trace.record(
+            TraceEvent(
+                step=self._step,
+                kind=EventKind.RELOCATE,
+                region=region,
+                module=mode,
+                frames=relocated.num_frames,
+                target=str(target),
+            )
+        )
+        return relocated
+
+    def return_home(self, region: str) -> PartialBitstream:
+        """Relocate the region's module back to its floorplanned home area."""
+        self._check_region(region)
+        home = self.floorplan.placements[region].rect
+        if self._current_rect[region] == home:
+            raise RuntimeError_(f"region {region!r} is already at its home placement")
+        return self.relocate(region, target=home)
+
+    # ------------------------------------------------------------------
+    def _bitstream_for(self, region: str, mode: str, rect: Rect) -> PartialBitstream:
+        key = (region, mode, self._rect_key(rect))
+        if key not in self._bitstream_cache:
+            self._bitstream_cache[key] = generate_bitstream(
+                self.device, rect, module=self._module_key(region, mode)
+            )
+        return self._bitstream_cache[key]
+
+    @staticmethod
+    def _module_key(region: str, mode: str) -> str:
+        return f"{region}:{mode}"
+
+    @staticmethod
+    def _rect_key(rect: Rect) -> tuple:
+        return (rect.col, rect.row, rect.width, rect.height)
+
+    def _check_region(self, region: str) -> None:
+        if region not in self._current_rect:
+            raise RuntimeError_(f"unknown region {region!r}")

@@ -1,0 +1,80 @@
+"""Mode-activation schedules.
+
+The SDR design configures, for each module, one of several mutually exclusive
+modes at a time (Section VI).  A :class:`ModeSchedule` is simply the sequence
+of (region, mode) activations a system goes through; the generator below
+produces reproducible synthetic schedules for the run-time benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ModeSchedule:
+    """A sequence of mode activations.
+
+    Attributes
+    ----------
+    steps:
+        Ordered list of ``(region, mode)`` pairs; at each step the given
+        region must be reconfigured to run the given mode.
+    """
+
+    steps: Tuple[Tuple[str, str], ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def regions(self) -> List[str]:
+        """Regions touched by the schedule, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for region, _ in self.steps:
+            seen.setdefault(region, None)
+        return list(seen.keys())
+
+    def activations_per_region(self) -> Dict[str, int]:
+        """Number of activations per region."""
+        counts: Dict[str, int] = {}
+        for region, _ in self.steps:
+            counts[region] = counts.get(region, 0) + 1
+        return counts
+
+
+def round_robin_schedule(
+    regions: Sequence[str],
+    modes_per_region: int = 3,
+    rounds: int = 2,
+) -> ModeSchedule:
+    """Cycle every region through its modes, ``rounds`` times."""
+    steps: List[Tuple[str, str]] = []
+    for round_index in range(rounds):
+        for region in regions:
+            mode = f"mode{(round_index % modes_per_region) + 1}"
+            steps.append((region, mode))
+    return ModeSchedule(steps=tuple(steps))
+
+
+def random_schedule(
+    regions: Sequence[str],
+    length: int,
+    modes_per_region: int = 3,
+    seed: int = 0,
+) -> ModeSchedule:
+    """A random activation sequence (seeded, reproducible)."""
+    if not regions:
+        raise ValueError("need at least one region to schedule")
+    rng = np.random.default_rng(seed)
+    steps: List[Tuple[str, str]] = []
+    for _ in range(length):
+        region = regions[int(rng.integers(len(regions)))]
+        mode = f"mode{int(rng.integers(modes_per_region)) + 1}"
+        steps.append((region, mode))
+    return ModeSchedule(steps=tuple(steps))

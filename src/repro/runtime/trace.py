@@ -1,0 +1,65 @@
+"""Run-time event tracing."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+
+class EventKind(enum.Enum):
+    """Kinds of events recorded by the run-time manager."""
+
+    CONFIGURE = "configure"
+    RECONFIGURE = "reconfigure"
+    RELOCATE = "relocate"
+    UNLOAD = "unload"
+    REJECT = "reject"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded run-time event."""
+
+    step: int
+    kind: EventKind
+    region: str
+    module: str
+    frames: int = 0
+    target: Optional[str] = None
+    detail: str = ""
+
+
+class RuntimeTrace:
+    """An append-only list of :class:`TraceEvent` with summary statistics."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        """Append an event."""
+        self.events.append(event)
+
+    def count(self, kind: EventKind) -> int:
+        """Number of events of a given kind."""
+        return sum(1 for event in self.events if event.kind is kind)
+
+    def frames_written(self) -> int:
+        """Total configuration frames written by configure/reconfigure/relocate."""
+        return sum(
+            event.frames
+            for event in self.events
+            if event.kind in (EventKind.CONFIGURE, EventKind.RECONFIGURE, EventKind.RELOCATE)
+        )
+
+    def summary(self) -> Dict[str, int]:
+        """Aggregate counters keyed by event kind plus total frames written."""
+        counters = {kind.value: self.count(kind) for kind in EventKind}
+        counters["frames_written"] = self.frames_written()
+        return counters
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

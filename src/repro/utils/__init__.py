@@ -1,0 +1,6 @@
+"""Small shared utilities (timing, deterministic RNG helpers)."""
+
+from repro.utils.timing import Timer
+from repro.utils.rng import make_rng
+
+__all__ = ["Timer", "make_rng"]

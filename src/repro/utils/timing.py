@@ -1,0 +1,34 @@
+"""Wall-clock timing helper used by solvers and benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     work()
+    >>> print(timer.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+    def lap(self) -> float:
+        """Seconds since the timer was entered (without stopping it)."""
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start

@@ -1,0 +1,22 @@
+"""Workloads: the SDR case study of Section VI and synthetic generators."""
+
+from repro.workloads.sdr import (
+    SDR_REGION_NAMES,
+    sdr_problem,
+    sdr_regions,
+    sdr_relocatable_regions,
+    sdr2_spec,
+    sdr3_spec,
+)
+from repro.workloads.synthetic import SyntheticWorkloadConfig, synthetic_problem
+
+__all__ = [
+    "SDR_REGION_NAMES",
+    "sdr_regions",
+    "sdr_problem",
+    "sdr_relocatable_regions",
+    "sdr2_spec",
+    "sdr3_spec",
+    "SyntheticWorkloadConfig",
+    "synthetic_problem",
+]

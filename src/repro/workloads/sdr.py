@@ -1,0 +1,147 @@
+"""The software-defined-radio (SDR) case study of Section VI.
+
+The design (taken from Vipin & Fahmy, reference [8]) consists of five modules
+connected in sequence by a 64-bit bus: matched filter, carrier recovery,
+demodulator, signal decoder and video decoder.  Each module has several
+mutually exclusive modes, all mapped to one reconfigurable region per module,
+so the floorplanning instance has five regions whose resource requirements
+(in tiles) are those of Table I:
+
+=====================  =========  ==========  =========  ========
+Region                 CLB tiles  BRAM tiles  DSP tiles  # Frames
+=====================  =========  ==========  =========  ========
+Matched Filter            25          0           5        1040
+Carrier Recovery           7          0           1         280
+Demodulator                5          2           0         240
+Signal Decoder            12          1           0         462
+Video Decoder             55          2           5        2180
+Total                    104          5          11        4202
+=====================  =========  ==========  =========  ========
+
+The frame column is derived from the per-tile frame counts of the Virtex-5
+(36/30/28 for CLB/BRAM/DSP) and is reproduced exactly by
+``FloorplanProblem.required_frames``; ``tests/workloads/test_sdr.py`` checks
+every row against the table above.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.device.catalog import virtex5_fx70t_like
+from repro.device.grid import FPGADevice
+from repro.device.resources import ResourceVector
+from repro.floorplan.problem import Connection, FloorplanProblem, Region
+from repro.relocation.spec import RelocationSpec
+
+#: Region names in signal-chain order (also the bus connection order).
+SDR_REGION_NAMES: List[str] = [
+    "Matched Filter",
+    "Carrier Recovery",
+    "Demodulator",
+    "Signal Decoder",
+    "Video Decoder",
+]
+
+#: Table I resource requirements, in tiles per type.
+SDR_REQUIREMENTS: Dict[str, Dict[str, int]] = {
+    "Matched Filter": {"CLB": 25, "BRAM": 0, "DSP": 5},
+    "Carrier Recovery": {"CLB": 7, "BRAM": 0, "DSP": 1},
+    "Demodulator": {"CLB": 5, "BRAM": 2, "DSP": 0},
+    "Signal Decoder": {"CLB": 12, "BRAM": 1, "DSP": 0},
+    "Video Decoder": {"CLB": 55, "BRAM": 2, "DSP": 5},
+}
+
+#: Frame counts reported in the last column of Table I.
+SDR_FRAMES: Dict[str, int] = {
+    "Matched Filter": 1040,
+    "Carrier Recovery": 280,
+    "Demodulator": 240,
+    "Signal Decoder": 462,
+    "Video Decoder": 2180,
+}
+
+#: Width of the bus connecting consecutive modules (wirelength weight).
+SDR_BUS_WIDTH: float = 64.0
+
+#: Regions found relocatable by the paper's feasibility analysis.
+SDR_RELOCATABLE: List[str] = ["Carrier Recovery", "Demodulator", "Signal Decoder"]
+
+
+def sdr_regions() -> List[Region]:
+    """The five SDR regions with the Table I requirements."""
+    return [
+        Region(name=name, requirements=ResourceVector(SDR_REQUIREMENTS[name]))
+        for name in SDR_REGION_NAMES
+    ]
+
+
+def sdr_connections() -> List[Connection]:
+    """The 64-bit sequential bus between consecutive modules."""
+    return [
+        Connection(source=a, target=b, weight=SDR_BUS_WIDTH)
+        for a, b in zip(SDR_REGION_NAMES, SDR_REGION_NAMES[1:])
+    ]
+
+
+def sdr_problem(device: FPGADevice | None = None) -> FloorplanProblem:
+    """The complete SDR floorplanning instance on the Virtex-5-like device."""
+    device = device or virtex5_fx70t_like()
+    return FloorplanProblem(
+        device=device,
+        regions=sdr_regions(),
+        connections=sdr_connections(),
+        name="SDR",
+    )
+
+
+def sdr_relocatable_regions() -> List[str]:
+    """The relocatable regions used to build the SDR2/SDR3 instances."""
+    return list(SDR_RELOCATABLE)
+
+
+def sdr2_spec(hard: bool = True) -> RelocationSpec:
+    """SDR2: two free-compatible areas for every relocatable region."""
+    return _spec(copies=2, hard=hard)
+
+
+def sdr3_spec(hard: bool = True) -> RelocationSpec:
+    """SDR3: three free-compatible areas for every relocatable region."""
+    return _spec(copies=3, hard=hard)
+
+
+def _spec(copies: int, hard: bool) -> RelocationSpec:
+    mapping = {name: copies for name in SDR_RELOCATABLE}
+    if hard:
+        return RelocationSpec.as_constraint(mapping)
+    return RelocationSpec.as_metric(mapping)
+
+
+def mini_sdr_problem(device: FPGADevice | None = None) -> FloorplanProblem:
+    """A scaled-down SDR instance that solves in seconds (tests, examples).
+
+    The five modules keep their relative proportions but each requirement is
+    divided by roughly four, and the default device is a small synthetic grid;
+    this keeps the MILP small enough for the unit tests and the quickstart
+    example while exercising the exact same code paths as the full SDR.
+    """
+    from repro.device.catalog import synthetic_device
+
+    device = device or synthetic_device(16, 6, bram_every=5, dsp_every=8, name="mini-sdr-device")
+    scaled: Dict[str, Dict[str, int]] = {
+        "Matched Filter": {"CLB": 6, "DSP": 1},
+        "Carrier Recovery": {"CLB": 2, "DSP": 1},
+        "Demodulator": {"CLB": 2, "BRAM": 1},
+        "Signal Decoder": {"CLB": 3, "BRAM": 1},
+        "Video Decoder": {"CLB": 13, "BRAM": 1, "DSP": 1},
+    }
+    regions = [
+        Region(name=name, requirements=ResourceVector(req)) for name, req in scaled.items()
+    ]
+    connections = [
+        Connection(source=a, target=b, weight=SDR_BUS_WIDTH)
+        for a, b in zip(scaled.keys(), list(scaled.keys())[1:])
+    ]
+    return FloorplanProblem(
+        device=device, regions=regions, connections=connections, name="SDR-mini"
+    )

@@ -1,0 +1,129 @@
+"""Unit tests for the heuristic floorplanners."""
+
+import pytest
+
+from repro.baselines import (
+    AnnealingOptions,
+    annealing_floorplan,
+    first_fit_floorplan,
+    relocation_aware_greedy,
+    tessellation_floorplan,
+)
+from repro.baselines.packing import (
+    best_rect,
+    candidate_orders,
+    first_rect,
+    rect_frames,
+    rect_is_free,
+    rect_resources,
+    sort_regions_by_demand,
+    sort_regions_by_scarcity,
+)
+from repro.floorplan import Rect, verify_floorplan
+from repro.floorplan.metrics import evaluate_floorplan
+from repro.relocation import RelocationSpec
+
+
+class TestPackingHelpers:
+    def test_rect_is_free_checks_everything(self, small_device):
+        assert rect_is_free(small_device, Rect(0, 0, 2, 2), [])
+        assert not rect_is_free(small_device, Rect(9, 0, 2, 2), [])  # out of bounds
+        assert not rect_is_free(small_device, Rect(0, 0, 2, 2), [Rect(1, 1, 2, 2)])
+
+    def test_rect_resources_and_frames(self, small_device):
+        rect = Rect(3, 0, 2, 2)  # includes the BRAM column at col 4
+        resources = rect_resources(small_device, rect)
+        assert resources.as_dict() == {"CLB": 2, "BRAM": 2}
+        assert rect_frames(small_device, rect) == 2 * 36 + 2 * 30
+
+    def test_first_and_best_rect(self, small_device, tiny_problem):
+        region = tiny_problem.region_by_name("beta")  # 2 CLB + 1 BRAM
+        first = first_rect(small_device, region, [])
+        best = best_rect(small_device, region, [])
+        assert first is not None and best is not None
+        assert rect_resources(small_device, best).covers(region.requirements)
+        assert rect_frames(small_device, best) <= rect_frames(small_device, first)
+
+    def test_orderings(self, small_device, tiny_problem):
+        by_demand = sort_regions_by_demand(tiny_problem.regions)
+        assert by_demand[0].total_tiles >= by_demand[-1].total_tiles
+        by_scarcity = sort_regions_by_scarcity(small_device, tiny_problem.regions)
+        assert len(by_scarcity) == len(tiny_problem.regions)
+        orders = candidate_orders(small_device, tiny_problem.regions)
+        assert all(len(order) == len(tiny_problem.regions) for order in orders)
+        signatures = {tuple(r.name for r in order) for order in orders}
+        assert len(signatures) == len(orders)  # no duplicate orders
+
+
+@pytest.mark.parametrize(
+    "placer",
+    [first_fit_floorplan, tessellation_floorplan, lambda p: tessellation_floorplan(p, align_rows=False)],
+    ids=["first-fit", "tessellation", "tessellation-unaligned"],
+)
+class TestGreedyPlacers:
+    def test_produces_verified_floorplan(self, placer, tiny_problem):
+        floorplan = placer(tiny_problem)
+        assert floorplan is not None and floorplan.is_complete
+        assert verify_floorplan(floorplan, check_relocation=False).is_feasible
+
+    def test_reports_solve_time(self, placer, tiny_problem):
+        floorplan = placer(tiny_problem)
+        assert floorplan.solve_time >= 0.0
+
+
+class TestTessellationSpecifics:
+    def test_explicit_order_respected(self, tiny_problem):
+        floorplan = tessellation_floorplan(
+            tiny_problem, region_order=["gamma", "beta", "alpha"]
+        )
+        assert floorplan is not None and floorplan.is_complete
+
+    def test_alignment_does_not_beat_unaligned(self, tiny_problem):
+        aligned = tessellation_floorplan(tiny_problem)
+        unaligned = tessellation_floorplan(tiny_problem, align_rows=False)
+        assert aligned is not None and unaligned is not None
+        aligned_waste = evaluate_floorplan(aligned).wasted_frames
+        unaligned_waste = evaluate_floorplan(unaligned).wasted_frames
+        assert unaligned_waste <= aligned_waste
+
+
+class TestAnnealing:
+    def test_annealer_repairs_and_verifies(self, tiny_problem):
+        floorplan = annealing_floorplan(
+            tiny_problem, AnnealingOptions(iterations=4000, seed=7)
+        )
+        assert floorplan is not None
+        assert floorplan.solver_status == "annealing"
+        assert verify_floorplan(floorplan, check_relocation=False).is_feasible
+
+    def test_seeded_runs_are_deterministic(self, tiny_problem):
+        options = AnnealingOptions(iterations=1500, seed=11)
+        first = annealing_floorplan(tiny_problem, options)
+        second = annealing_floorplan(tiny_problem, options)
+        assert {n: p.rect for n, p in first.placements.items()} == {
+            n: p.rect for n, p in second.placements.items()
+        }
+
+
+class TestRelocationAwareGreedy:
+    def test_reserves_requested_copies(self, tiny_problem):
+        spec = RelocationSpec.as_constraint({"beta": 1, "gamma": 1})
+        floorplan = relocation_aware_greedy(tiny_problem, spec)
+        assert floorplan is not None
+        assert floorplan.num_free_compatible_areas == 2
+        assert verify_floorplan(floorplan).is_feasible
+
+    def test_soft_requests_may_be_dropped(self, tiny_problem):
+        spec = RelocationSpec.as_metric({"alpha": 8})  # impossible count
+        floorplan = relocation_aware_greedy(tiny_problem, spec)
+        assert floorplan is not None and floorplan.is_complete
+        assert len(floorplan.free_areas) < 8
+
+    def test_without_spec_behaves_like_greedy(self, tiny_problem):
+        floorplan = relocation_aware_greedy(tiny_problem)
+        assert floorplan is not None and not floorplan.free_areas
+        assert verify_floorplan(floorplan).is_feasible
+
+    def test_impossible_hard_request_returns_none(self, tiny_problem):
+        spec = RelocationSpec.as_constraint({"alpha": 50})
+        assert relocation_aware_greedy(tiny_problem, spec) is None

@@ -1,0 +1,88 @@
+"""Shared fixtures.
+
+Solver-heavy fixtures are session-scoped so the MILP runs once per test
+session; every test that needs a solved floorplan reuses the same small
+instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.catalog import (
+    simple_two_type_device,
+    synthetic_device,
+    virtex5_fx70t_like,
+)
+from repro.device.partition import columnar_partition
+from repro.device.resources import ResourceVector
+from repro.floorplan.problem import Connection, FloorplanProblem, Region
+from repro.floorplan.solver import FloorplanSolver
+from repro.milp import SolverOptions
+from repro.relocation.spec import RelocationSpec
+
+
+@pytest.fixture(scope="session")
+def small_device():
+    """A 10x4 device with CLB/BRAM/DSP columns, no forbidden areas."""
+    return synthetic_device(10, 4, bram_every=4, dsp_every=7, name="test-small")
+
+
+@pytest.fixture(scope="session")
+def two_type_device():
+    """The 12x6 CLB/BRAM device used by geometry-oriented tests."""
+    return simple_two_type_device()
+
+
+@pytest.fixture(scope="session")
+def fx70t_device():
+    """The Virtex-5 FX70T-like device of the SDR case study."""
+    return virtex5_fx70t_like()
+
+
+@pytest.fixture(scope="session")
+def small_partition(small_device):
+    return columnar_partition(small_device)
+
+
+@pytest.fixture(scope="session")
+def two_type_partition(two_type_device):
+    return columnar_partition(two_type_device)
+
+
+@pytest.fixture(scope="session")
+def tiny_problem(small_device):
+    """Three small regions on the 10x4 device — solves in well under a second."""
+    regions = [
+        Region("alpha", ResourceVector(CLB=4)),
+        Region("beta", ResourceVector(CLB=2, BRAM=1)),
+        Region("gamma", ResourceVector(CLB=2, DSP=1)),
+    ]
+    connections = [
+        Connection("alpha", "beta", weight=8),
+        Connection("beta", "gamma", weight=8),
+    ]
+    return FloorplanProblem(small_device, regions, connections, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def fast_options():
+    """Solver options that keep every MILP test bounded."""
+    return SolverOptions(time_limit=30, mip_gap=0.02)
+
+
+@pytest.fixture(scope="session")
+def tiny_solution(tiny_problem, fast_options):
+    """A solved (no relocation) floorplan of the tiny problem."""
+    report = FloorplanSolver(tiny_problem, options=fast_options).solve()
+    assert report.solution.status.has_solution
+    return report
+
+
+@pytest.fixture(scope="session")
+def tiny_relocation_solution(tiny_problem, fast_options):
+    """The tiny problem solved with one hard free-compatible area per small region."""
+    spec = RelocationSpec.as_constraint({"beta": 1, "gamma": 1})
+    report = FloorplanSolver(tiny_problem, relocation=spec, options=fast_options).solve()
+    assert report.solution.status.has_solution
+    return report, spec

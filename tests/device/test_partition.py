@@ -1,0 +1,100 @@
+"""Unit tests for the columnar partitioning procedure (Section III.B)."""
+
+import pytest
+
+from repro.device import BRAM, CLB, DSP, FPGADevice, columnar_partition
+from repro.device.catalog import figure2_device, simple_two_type_device, virtex5_fx70t_like
+from repro.device.grid import ForbiddenRect
+from repro.device.partition import PartitionError
+
+
+class TestColumnarPartition:
+    def test_adjacent_portions_differ(self):
+        partition = columnar_partition(virtex5_fx70t_like())
+        partition.check_properties()  # Property .3 and .4
+        for left, right in zip(partition.portions, partition.portions[1:]):
+            assert left.tile_type != right.tile_type
+
+    def test_portions_cover_every_column_once(self):
+        partition = columnar_partition(simple_two_type_device())
+        covered = []
+        for portion in partition.portions:
+            covered.extend(portion.columns())
+        assert sorted(covered) == list(range(partition.width))
+
+    def test_same_type_adjacent_columns_merge(self):
+        device = FPGADevice.from_columns("d", [CLB, CLB, BRAM, CLB], height=3)
+        partition = columnar_partition(device)
+        assert partition.num_portions == 3
+        assert partition.portions[0].width == 2
+
+    def test_portion_ordering_matches_columns(self):
+        partition = columnar_partition(virtex5_fx70t_like())
+        for index, portion in enumerate(partition.portions):
+            assert portion.index == index
+        starts = [p.col_start for p in partition.portions]
+        assert starts == sorted(starts)
+
+    def test_portion_of_column_lookup(self):
+        partition = columnar_partition(simple_two_type_device())
+        for col in range(partition.width):
+            assert partition.portion_of_column(col).contains_column(col)
+        with pytest.raises(IndexError):
+            partition.portion_of_column(partition.width)
+
+    def test_type_ids_are_dense(self):
+        partition = columnar_partition(virtex5_fx70t_like())
+        ids = partition.portion_type_ids()
+        assert set(ids) == set(range(partition.num_types))
+        assert partition.num_types == 3
+
+    def test_forbidden_tile_replacement(self):
+        device = figure2_device()
+        partition = columnar_partition(device)
+        # the processor block overlaps CLB columns; after step 1 those columns
+        # must read as CLB for partitioning purposes
+        for col in range(4, 6):
+            assert partition.column_type(col) is CLB
+        assert len(partition.forbidden_areas) == 1
+        area = partition.forbidden_areas[0]
+        assert (area.col_start, area.col_end) == (4, 5)
+        assert set(area.rows) == {2, 3}
+
+    def test_forbidden_cells_tracked(self):
+        partition = columnar_partition(figure2_device())
+        cells = set(partition.forbidden_cells())
+        assert (4, 2) in cells and (5, 3) in cells
+        assert partition.is_forbidden_cell(4, 2)
+        assert not partition.is_forbidden_cell(0, 0)
+
+    def test_frames_in_column(self):
+        partition = columnar_partition(virtex5_fx70t_like())
+        assert partition.frames_in_column(0) == 36  # CLB column
+        assert partition.frames_in_column(4) == 30  # BRAM column
+        assert partition.frames_in_column(8) == 28  # DSP column
+
+    def test_non_columnar_device_raises(self):
+        grid = [[CLB, CLB, BRAM], [CLB, CLB, CLB]]
+        device = FPGADevice("bad", grid)
+        with pytest.raises(PartitionError):
+            columnar_partition(device)
+
+    def test_mixed_column_under_forbidden_is_replaced(self):
+        # a column whose only non-CLB tiles are forbidden partitions as CLB
+        grid = [[CLB, CLB, CLB], [CLB, DSP, CLB], [CLB, CLB, CLB]]
+        device = FPGADevice(
+            "mixed", grid, forbidden=[ForbiddenRect("HARD", col=1, row=1, width=1, height=1)]
+        )
+        partition = columnar_partition(device)
+        assert partition.column_type(1) is CLB
+        assert partition.num_portions == 1
+
+    def test_paper_figure2_sets(self):
+        """Figure 2d: the example yields the expected P and A set sizes."""
+        partition = columnar_partition(figure2_device())
+        # pattern CCBCCCCBCC -> portions C,B,C,B,C = 5
+        assert partition.num_portions == 5
+        assert [p.tile_type.name for p in partition.portions] == [
+            "CLB", "BRAM", "CLB", "BRAM", "CLB",
+        ]
+        assert len(partition.forbidden_areas) == 1

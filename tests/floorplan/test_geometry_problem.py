@@ -1,0 +1,161 @@
+"""Unit tests for geometry, problem description, placements and metrics."""
+
+import pytest
+
+from repro.device import ResourceVector, simple_two_type_device
+from repro.floorplan import (
+    Connection,
+    Floorplan,
+    FloorplanProblem,
+    IOPin,
+    Rect,
+    Region,
+    evaluate_floorplan,
+)
+from repro.floorplan.geometry import half_perimeter_wirelength, manhattan, total_overlap_area
+from repro.floorplan.metrics import ObjectiveWeights, wasted_frames, wirelength
+from repro.floorplan.placement import RegionPlacement
+
+
+class TestRect:
+    def test_basic_properties(self):
+        rect = Rect(2, 1, 3, 2)
+        assert rect.col_end == 4 and rect.row_end == 2
+        assert rect.area == 6 and rect.perimeter == 10
+        assert rect.center == (3.0, 1.5)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 1)
+
+    def test_contains_and_cells(self):
+        rect = Rect(1, 1, 2, 2)
+        assert rect.contains(2, 2) and not rect.contains(3, 1)
+        assert len(list(rect.cells())) == 4
+
+    def test_overlap_and_intersection(self):
+        a = Rect(0, 0, 3, 3)
+        b = Rect(2, 2, 3, 3)
+        c = Rect(3, 0, 2, 2)
+        assert a.overlaps(b) and a.intersection_area(b) == 1
+        assert not a.overlaps(c) and a.intersection_area(c) == 0
+
+    def test_within_and_translate(self):
+        rect = Rect(0, 0, 3, 2)
+        assert rect.within(3, 2) and not rect.within(2, 2)
+        moved = rect.translated(1, 1)
+        assert (moved.col, moved.row) == (1, 1)
+
+    def test_helpers(self):
+        assert manhattan((0, 0), (2, 3)) == 5
+        assert half_perimeter_wirelength([(0, 0), (2, 1), (1, 4)]) == 2 + 4
+        assert half_perimeter_wirelength([]) == 0.0
+        assert total_overlap_area([Rect(0, 0, 2, 2), Rect(1, 1, 2, 2), Rect(5, 5, 1, 1)]) == 1
+
+
+@pytest.fixture()
+def demo_problem():
+    device = simple_two_type_device()
+    regions = [
+        Region("A", ResourceVector(CLB=4)),
+        Region("B", ResourceVector(CLB=2, BRAM=1)),
+    ]
+    connections = [Connection("A", "B", weight=16), Connection("A", "IO0", weight=4)]
+    pins = [IOPin("IO0", col=0, row=0)]
+    return FloorplanProblem(device, regions, connections, pins, name="demo")
+
+
+class TestProblem:
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            Region("", ResourceVector(CLB=1))
+        with pytest.raises(ValueError):
+            Region("empty", ResourceVector())
+
+    def test_duplicate_region_names_rejected(self):
+        device = simple_two_type_device()
+        regions = [Region("A", ResourceVector(CLB=1))] * 2
+        with pytest.raises(ValueError):
+            FloorplanProblem(device, regions)
+
+    def test_unknown_connection_endpoint_rejected(self):
+        device = simple_two_type_device()
+        regions = [Region("A", ResourceVector(CLB=1))]
+        with pytest.raises(ValueError):
+            FloorplanProblem(device, regions, [Connection("A", "missing")])
+
+    def test_aggregate_demand_checked(self):
+        device = simple_two_type_device()
+        regions = [Region("huge", ResourceVector(DSP=1))]  # no DSP on this device
+        with pytest.raises(ValueError):
+            FloorplanProblem(device, regions)
+
+    def test_connection_validation(self):
+        with pytest.raises(ValueError):
+            Connection("A", "A")
+        with pytest.raises(ValueError):
+            Connection("A", "B", weight=0)
+
+    def test_required_frames(self, demo_problem):
+        assert demo_problem.required_frames("A") == 4 * 36
+        assert demo_problem.required_frames("B") == 2 * 36 + 30
+        assert demo_problem.total_required_frames() == 4 * 36 + 2 * 36 + 30
+
+    def test_lookups(self, demo_problem):
+        assert demo_problem.region_by_name("A").name == "A"
+        assert demo_problem.pin_by_name("IO0").col == 0
+        with pytest.raises(KeyError):
+            demo_problem.region_by_name("Z")
+        assert demo_problem.connection_weight_total() == 20
+        assert demo_problem.partition.num_portions > 1
+
+
+class TestPlacementAndMetrics:
+    def test_covered_resources_and_frames(self, demo_problem):
+        device = demo_problem.device
+        placement = RegionPlacement("A", Rect(0, 0, 2, 2))
+        assert placement.covered_resources(device).as_dict() == {"CLB": 4}
+        assert placement.covered_frames(device) == 4 * 36
+        assert placement.covered_tiles_by_type(device) == {"CLB": 4}
+
+    def test_floorplan_accessors(self, demo_problem):
+        floorplan = Floorplan.from_rects(
+            demo_problem,
+            {"A": Rect(0, 0, 2, 2), "B": Rect(3, 0, 2, 2)},
+            {"B 1": (Rect(3, 3, 2, 2), "B")},
+        )
+        assert floorplan.is_complete
+        assert floorplan.placement_for("B 1").compatible_with == "B"
+        assert floorplan.num_free_compatible_areas == 1
+        assert len(floorplan.free_areas_for("B")) == 1
+        assert len(floorplan.all_rects()) == 3
+        with pytest.raises(KeyError):
+            floorplan.placement_for("missing")
+        payload = floorplan.to_dict()
+        assert payload["placements"]["A"]["width"] == 2
+
+    def test_metrics_values(self, demo_problem):
+        floorplan = Floorplan.from_rects(
+            demo_problem,
+            # B covers the BRAM column (col 4) plus CLB cols 3 and 5
+            {"A": Rect(0, 0, 2, 2), "B": Rect(3, 0, 3, 1)},
+        )
+        # wirelength: centres A=(0.5,0.5), B=(4,0) -> 16*(3.5+0.5); pin IO0 at (0,0)
+        assert wirelength(floorplan) == pytest.approx(16 * 4.0 + 4 * 1.0)
+        # wasted frames: A exact, B covers 2 CLB + 1 BRAM = required -> 0 waste
+        assert wasted_frames(floorplan) == 0
+        metrics = evaluate_floorplan(floorplan)
+        assert metrics.wasted_frames == 0
+        assert metrics.covered_frames == metrics.required_frames
+        assert metrics.free_compatible_areas == 0
+
+    def test_objective_weights_validation(self):
+        with pytest.raises(ValueError):
+            ObjectiveWeights(wirelength=-1)
+        defaults = ObjectiveWeights.paper_default()
+        assert defaults.wasted_frames >= defaults.wirelength
+
+    def test_missing_endpoint_placement_raises(self, demo_problem):
+        floorplan = Floorplan.from_rects(demo_problem, {"A": Rect(0, 0, 2, 2)})
+        with pytest.raises(KeyError):
+            wirelength(floorplan)

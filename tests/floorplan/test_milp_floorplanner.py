@@ -1,0 +1,124 @@
+"""Integration-style tests of the MILP floorplanner (O and HO modes).
+
+These tests use the small session-scoped problems of ``conftest.py`` so the
+solver runs stay in the seconds range.
+"""
+
+import pytest
+
+from repro.floorplan import FloorplanSolver, ObjectiveWeights, SequencePair, verify_floorplan
+from repro.floorplan.milp_builder import AreaSpec, build_floorplan_milp
+from repro.floorplan.ho import HOSeeder
+from repro.milp import SolverOptions, SolveStatus, solve
+
+
+class TestMilpBuilder:
+    def test_variable_families_present(self, tiny_problem):
+        milp = build_floorplan_milp(tiny_problem)
+        for region in tiny_problem.region_names:
+            assert len(milp.col_cover[region]) == tiny_problem.device.width
+            assert len(milp.row_cover[region]) == tiny_problem.device.height
+            assert len(milp.k[region]) == tiny_problem.partition.num_portions
+            assert len(milp.l[region]) == tiny_problem.partition.num_portions
+        stats = milp.model.stats()
+        assert stats.num_binary > 0 and stats.num_constraints > 0
+
+    def test_duplicate_area_names_rejected(self, tiny_problem):
+        from repro.device.resources import ResourceVector
+
+        with pytest.raises(ValueError):
+            build_floorplan_milp(
+                tiny_problem,
+                extra_areas=[AreaSpec("alpha", ResourceVector.zero(), compatible_with="beta")],
+            )
+
+    def test_fixed_relations_skip_disjunction_binaries(self, tiny_problem):
+        free = build_floorplan_milp(tiny_problem)
+        fixed = build_floorplan_milp(
+            tiny_problem,
+            fixed_relations={("alpha", "beta"): "left", ("alpha", "gamma"): "left",
+                             ("beta", "gamma"): "below"},
+        )
+        assert fixed.model.stats().num_binary < free.model.stats().num_binary
+        assert not fixed.rel_dirs and len(free.rel_dirs) == 3
+
+
+class TestOMode:
+    def test_solution_is_verified_feasible(self, tiny_solution):
+        assert tiny_solution.verification is not None
+        assert tiny_solution.verification.is_feasible
+        assert tiny_solution.floorplan.is_complete
+
+    def test_every_region_covers_its_resources(self, tiny_solution):
+        floorplan = tiny_solution.floorplan
+        device = floorplan.device
+        for name, placement in floorplan.placements.items():
+            region = floorplan.problem.region_by_name(name)
+            assert placement.covered_resources(device).covers(region.requirements)
+
+    def test_metrics_reported(self, tiny_solution):
+        metrics = tiny_solution.metrics
+        assert metrics is not None
+        assert metrics.wasted_frames >= 0
+        assert metrics.covered_frames >= metrics.required_frames
+
+    def test_extracted_objective_matches_solver(self, tiny_solution):
+        assert tiny_solution.floorplan.objective == pytest.approx(
+            tiny_solution.solution.objective, abs=1e-6
+        )
+
+    def test_infeasible_instance_detected(self, small_device, fast_options):
+        from repro.device.resources import ResourceVector
+        from repro.floorplan.problem import FloorplanProblem, Region
+
+        # demand every CLB tile in a single region plus another region: the
+        # aggregate fits but the max-width cap makes it geometrically impossible
+        problem = FloorplanProblem(
+            small_device,
+            [
+                Region("big", ResourceVector(CLB=20), max_width=2, max_height=2),
+            ],
+            name="impossible",
+        )
+        report = FloorplanSolver(problem, options=fast_options).solve()
+        assert report.solution.status is SolveStatus.INFEASIBLE
+        assert not report.feasible
+
+    def test_lexicographic_solve_does_not_worsen_area(self, tiny_problem, fast_options):
+        plain = FloorplanSolver(tiny_problem, options=fast_options).solve(
+            weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0)
+        )
+        lex = FloorplanSolver(tiny_problem, options=fast_options).solve(
+            lexicographic=True
+        )
+        assert lex.metrics is not None and plain.metrics is not None
+        assert lex.metrics.wasted_frames <= plain.metrics.wasted_frames + 1e-6
+
+    def test_invalid_mode_rejected(self, tiny_problem):
+        with pytest.raises(ValueError):
+            FloorplanSolver(tiny_problem, mode="X")
+
+
+class TestHOMode:
+    def test_ho_seed_matches_sequence_pair(self, tiny_problem):
+        seeder = HOSeeder(tiny_problem)
+        seed = seeder.build_seed()
+        rects = {p.name: p.rect for p in seed.floorplan.all_placements()}
+        assert seed.sequence_pair.is_consistent_with(rects)
+
+    def test_ho_solves_and_verifies(self, tiny_problem, fast_options):
+        report = FloorplanSolver(tiny_problem, mode="HO", options=fast_options).solve()
+        assert report.solution.status.has_solution
+        assert report.verification.is_feasible
+        assert report.floorplan.metadata.get("ho_seed_status")
+
+    def test_ho_not_worse_than_its_seed(self, tiny_problem, fast_options):
+        from repro.floorplan.metrics import evaluate_floorplan
+
+        seeder = HOSeeder(tiny_problem)
+        seed = seeder.build_seed()
+        seed_metrics = evaluate_floorplan(seed.floorplan)
+        report = FloorplanSolver(tiny_problem, mode="HO", options=fast_options).solve(
+            weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0)
+        )
+        assert report.metrics.wasted_frames <= seed_metrics.wasted_frames + 1e-6

@@ -1,0 +1,165 @@
+"""Unit tests for sequence pairs and the independent verifier."""
+
+import pytest
+
+from repro.device import ResourceVector, simple_two_type_device, synthetic_device
+from repro.floorplan import (
+    Connection,
+    Floorplan,
+    FloorplanProblem,
+    Rect,
+    Region,
+    SequencePair,
+    verify_floorplan,
+)
+from repro.floorplan.placement import RegionPlacement
+from repro.floorplan.sequence_pair import (
+    RELATION_ABOVE,
+    RELATION_BELOW,
+    RELATION_LEFT,
+    RELATION_RIGHT,
+)
+
+
+class TestSequencePair:
+    def test_extraction_from_disjoint_rects(self):
+        rects = {
+            "A": Rect(0, 0, 2, 2),
+            "B": Rect(3, 0, 2, 2),   # right of A
+            "C": Rect(0, 3, 2, 2),   # above A
+        }
+        pair = SequencePair.from_rects(rects)
+        assert pair.relation("A", "B") == RELATION_LEFT
+        assert pair.relation("B", "A") == RELATION_RIGHT
+        assert pair.relation("A", "C") in (RELATION_BELOW, RELATION_LEFT)
+        assert pair.is_consistent_with(rects)
+
+    def test_relations_cover_all_pairs(self):
+        rects = {"A": Rect(0, 0, 1, 1), "B": Rect(2, 0, 1, 1), "C": Rect(4, 0, 1, 1)}
+        pair = SequencePair.from_rects(rects)
+        assert len(pair.relations()) == 6
+
+    def test_overlapping_rects_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair.from_rects({"A": Rect(0, 0, 2, 2), "B": Rect(1, 1, 2, 2)})
+
+    def test_mismatched_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePair(("A", "B"), ("A", "C"))
+        with pytest.raises(ValueError):
+            SequencePair(("A", "A"), ("A", "A"))
+
+    def test_self_relation_rejected(self):
+        pair = SequencePair(("A", "B"), ("A", "B"))
+        with pytest.raises(ValueError):
+            pair.relation("A", "A")
+
+    def test_semantics_of_hand_built_pair(self):
+        # A before B in both -> left; C after B in plus, before in minus -> below
+        pair = SequencePair(("A", "B", "C"), ("C", "A", "B"))
+        assert pair.relation("A", "B") == RELATION_LEFT
+        assert pair.relation("C", "B") == RELATION_BELOW
+        assert pair.relation("B", "C") == RELATION_ABOVE
+
+
+@pytest.fixture()
+def verifier_problem():
+    device = synthetic_device(10, 4, bram_every=4, dsp_every=7, name="verify-dev")
+    regions = [
+        Region("A", ResourceVector(CLB=4)),
+        Region("B", ResourceVector(CLB=2, BRAM=1)),
+    ]
+    return FloorplanProblem(device, regions, [Connection("A", "B")], name="verify")
+
+
+class TestVerifier:
+    def test_feasible_floorplan_passes(self, verifier_problem):
+        floorplan = Floorplan.from_rects(
+            verifier_problem,
+            {"A": Rect(0, 0, 2, 2), "B": Rect(2, 0, 3, 1)},
+        )
+        report = verify_floorplan(floorplan)
+        assert report.is_feasible and bool(report)
+        assert "feasible" in report.summary()
+
+    def test_missing_region_detected(self, verifier_problem):
+        floorplan = Floorplan.from_rects(verifier_problem, {"A": Rect(0, 0, 2, 2)})
+        report = verify_floorplan(floorplan)
+        assert not report.is_feasible
+        assert any("no placement" in v for v in report.violations)
+
+    def test_overlap_detected(self, verifier_problem):
+        floorplan = Floorplan.from_rects(
+            verifier_problem,
+            {"A": Rect(0, 0, 3, 2), "B": Rect(2, 0, 3, 2)},
+        )
+        report = verify_floorplan(floorplan)
+        assert any("overlap" in v for v in report.violations)
+
+    def test_out_of_bounds_detected(self, verifier_problem):
+        floorplan = Floorplan.from_rects(
+            verifier_problem,
+            {"A": Rect(8, 0, 4, 2), "B": Rect(0, 0, 2, 1)},
+        )
+        report = verify_floorplan(floorplan)
+        assert any("exceeds device bounds" in v for v in report.violations)
+
+    def test_resource_shortfall_detected(self, verifier_problem):
+        floorplan = Floorplan.from_rects(
+            verifier_problem,
+            # B gets no BRAM column
+            {"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 2, 1)},
+        )
+        report = verify_floorplan(floorplan)
+        assert any("lacks resources" in v for v in report.violations)
+
+    def test_forbidden_overlap_detected(self):
+        device = synthetic_device(8, 4, forbidden_blocks=1, seed=1, name="forbid-dev")
+        rect = device.forbidden[0]
+        problem = FloorplanProblem(device, [Region("A", ResourceVector(CLB=1))])
+        floorplan = Floorplan.from_rects(
+            problem, {"A": Rect(rect.col, rect.row, 1, 1)}
+        )
+        report = verify_floorplan(floorplan)
+        assert any("forbidden" in v for v in report.violations)
+
+    def test_incompatible_free_area_detected(self, verifier_problem):
+        floorplan = Floorplan.from_rects(
+            verifier_problem,
+            {"A": Rect(0, 0, 2, 2), "B": Rect(2, 0, 3, 1)},
+            # the claimed free area covers the DSP column: wrong layout for B
+            {"B 1": (Rect(5, 2, 3, 1), "B")},
+        )
+        report = verify_floorplan(floorplan)
+        assert any("not compatible" in v for v in report.violations)
+
+    def test_unsatisfied_soft_area_is_warning_not_violation(self, verifier_problem):
+        floorplan = Floorplan.from_rects(
+            verifier_problem,
+            {"A": Rect(0, 0, 2, 2), "B": Rect(2, 0, 3, 1)},
+        )
+        floorplan.free_areas["B 1"] = RegionPlacement(
+            "B 1", Rect(0, 3, 2, 1), compatible_with="B", satisfied=False
+        )
+        report = verify_floorplan(floorplan)
+        assert report.is_feasible
+        assert report.warnings
+
+    def test_valid_free_area_accepted(self, verifier_problem):
+        floorplan = Floorplan.from_rects(
+            verifier_problem,
+            {"A": Rect(0, 0, 2, 2), "B": Rect(2, 0, 3, 1)},
+            # same columns (2..4, BRAM at 4), different row -> compatible and free
+            {"B 1": (Rect(2, 2, 3, 1), "B")},
+        )
+        report = verify_floorplan(floorplan)
+        assert report.is_feasible
+
+    def test_region_cap_violation_detected(self):
+        device = simple_two_type_device()
+        problem = FloorplanProblem(
+            device, [Region("A", ResourceVector(CLB=2), max_width=1)]
+        )
+        floorplan = Floorplan.from_rects(problem, {"A": Rect(0, 0, 2, 1)})
+        report = verify_floorplan(floorplan)
+        assert any("wider than its cap" in v for v in report.violations)

@@ -1,0 +1,120 @@
+"""Additional unit tests for smaller modules (utils, HO seeding, edge cases)."""
+
+import math
+
+import pytest
+
+from repro.floorplan import Rect
+from repro.floorplan.ho import HOSeedError, HOSeeder
+from repro.milp import MILPSolution, Model, SolveStatus, SolverOptions, solve
+from repro.milp.branch_bound import solve_with_branch_bound
+from repro.utils import Timer, make_rng
+
+
+class TestUtils:
+    def test_timer_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(1000))
+            assert timer.lap() >= 0.0
+        assert timer.elapsed >= 0.0
+
+    def test_timer_outside_context(self):
+        timer = Timer()
+        assert timer.lap() == 0.0
+
+    def test_make_rng_deterministic_and_passthrough(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert a.integers(1000) == b.integers(1000)
+        assert make_rng(a) is a
+
+
+class TestHOSeeder:
+    def test_seed_regions_produces_feasible_floorplan(self, tiny_problem):
+        seeder = HOSeeder(tiny_problem)
+        floorplan = seeder.seed_regions()
+        assert floorplan.is_complete
+
+    def test_unknown_heuristic_rejected(self, tiny_problem):
+        with pytest.raises(ValueError):
+            HOSeeder(tiny_problem).seed_regions("magic")
+
+    def test_add_free_areas_requires_placed_region(self, tiny_problem):
+        from repro.floorplan.placement import Floorplan
+        from repro.relocation import RelocationSpec
+
+        seeder = HOSeeder(tiny_problem)
+        empty = Floorplan(problem=tiny_problem)
+        with pytest.raises(HOSeedError):
+            seeder.add_free_areas(empty, RelocationSpec.as_constraint({"beta": 1}))
+
+    def test_impossible_hard_request_raises(self, tiny_problem):
+        from repro.relocation import RelocationSpec
+
+        seeder = HOSeeder(tiny_problem)
+        with pytest.raises(HOSeedError):
+            seeder.build_seed(spec=RelocationSpec.as_constraint({"alpha": 40}))
+
+    def test_seed_with_provided_initial_floorplan(self, tiny_solution):
+        seeder = HOSeeder(tiny_solution.floorplan.problem)
+        seed = seeder.build_seed(initial=tiny_solution.floorplan)
+        assert set(seed.sequence_pair.names) == set(tiny_solution.floorplan.placements)
+
+
+class TestBranchBoundEdgeCases:
+    def test_time_limit_zero_reports_no_incumbent(self):
+        model = Model()
+        x = model.add_integer("x", ub=5)
+        model.add(x >= 1)
+        model.minimize(x)
+        result = solve_with_branch_bound(model, time_limit=0.0)
+        assert result.status in (SolveStatus.TIME_LIMIT, SolveStatus.FEASIBLE, SolveStatus.OPTIMAL)
+
+    def test_max_nodes_cap(self):
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(6)]
+        model.add(sum(xs[1:], xs[0]) >= 3)
+        model.minimize(sum(xs[1:], xs[0]))
+        result = solve_with_branch_bound(model, max_nodes=1)
+        assert result.node_count <= 1
+
+    def test_pure_lp_solved_at_root(self):
+        model = Model()
+        x = model.add_continuous("x", lb=0, ub=4)
+        model.minimize(-x)
+        result = solve_with_branch_bound(model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(-4.0)
+
+
+class TestSolutionHelpers:
+    def test_values_by_name(self):
+        model = Model()
+        x = model.add_integer("x", ub=2)
+        model.maximize(x)
+        result = solve(model, SolverOptions())
+        assert result.values_by_name() == {"x": 2.0}
+
+    def test_nan_objective_gap(self):
+        empty = MILPSolution(status=SolveStatus.ERROR)
+        assert math.isinf(empty.gap)
+
+
+class TestRenderOverlay:
+    def test_overlay_and_floorplans_without_free_areas(self, tiny_solution):
+        from repro.analysis.render import render_floorplan, render_rect_overlay
+
+        device = tiny_solution.floorplan.device
+        text = render_rect_overlay(device, {"X": Rect(0, 0, 2, 2)})
+        assert "X" in text
+        plain = render_floorplan(tiny_solution.floorplan, show_free_areas=False)
+        assert "free-compatible areas:" not in plain
+
+
+class TestSolverReportSummary:
+    def test_summary_mentions_status_and_metrics(self, tiny_solution):
+        text = tiny_solution.summary()
+        assert "status:" in text and "wasted frames" in text and "verification" in text
+
+    def test_feasible_flag(self, tiny_solution):
+        assert tiny_solution.feasible

@@ -1,0 +1,80 @@
+"""End-to-end integration tests: floorplan -> verify -> bitstreams -> relocate."""
+
+import pytest
+
+from repro.floorplan import FloorplanSolver, verify_floorplan
+from repro.floorplan.metrics import evaluate_floorplan
+from repro.milp import SolverOptions
+from repro.relocation import RelocationSpec
+from repro.relocation.metric import satisfied_areas_by_region
+from repro.runtime import ReconfigurationManager
+
+
+class TestRelocationFlow:
+    """The full story of the paper on a small instance."""
+
+    def test_constraint_mode_end_to_end(self, tiny_relocation_solution):
+        report, spec = tiny_relocation_solution
+        floorplan = report.floorplan
+
+        # 1. the floorplanner reserved every requested area
+        assert floorplan.num_free_compatible_areas == spec.total_copies
+        assert verify_floorplan(floorplan).is_feasible
+
+        # 2. a run-time manager can actually relocate into the reserved areas
+        manager = ReconfigurationManager(floorplan)
+        for region in spec.regions:
+            manager.reconfigure(region, "mode1")
+            relocated = manager.relocate(region)
+            assert manager.memory.verify(relocated)
+
+        # 3. the trace shows one relocation per requested region
+        assert manager.trace.summary()["relocate"] == len(spec.regions)
+
+    def test_constraint_vs_metric_agreement(self, tiny_problem, fast_options):
+        """When the hard problem is feasible, soft mode finds the same areas."""
+        request = {"beta": 1, "gamma": 1}
+        hard = FloorplanSolver(
+            tiny_problem, relocation=RelocationSpec.as_constraint(request), options=fast_options
+        ).solve()
+        soft = FloorplanSolver(
+            tiny_problem, relocation=RelocationSpec.as_metric(request), options=fast_options
+        ).solve()
+        assert hard.solution.status.has_solution and soft.solution.status.has_solution
+        assert hard.floorplan.num_free_compatible_areas == 2
+        assert soft.floorplan.num_free_compatible_areas == 2
+        assert satisfied_areas_by_region(soft.floorplan) == {"beta": 1, "gamma": 1}
+
+    def test_relocation_cost_visible_in_objective(self, tiny_solution, tiny_relocation_solution):
+        """Reserving areas never *improves* the base cost (paper: small impact)."""
+        base = evaluate_floorplan(tiny_solution.floorplan)
+        with_areas = evaluate_floorplan(tiny_relocation_solution[0].floorplan)
+        assert with_areas.wasted_frames >= 0
+        assert base.wasted_frames >= 0
+        # the relocation-aware solution still covers all requirements
+        assert with_areas.covered_frames >= with_areas.required_frames
+
+    def test_ho_with_relocation_spec(self, tiny_problem, fast_options):
+        spec = RelocationSpec.as_constraint({"beta": 1})
+        report = FloorplanSolver(
+            tiny_problem, relocation=spec, mode="HO", options=fast_options
+        ).solve()
+        assert report.solution.status.has_solution
+        assert report.floorplan.num_free_compatible_areas == 1
+        assert report.verification.is_feasible
+
+    def test_milp_agrees_with_independent_checker_on_tiny_sweep(self, fast_options):
+        """Solve a handful of tiny synthetic instances and cross-verify each."""
+        from repro.workloads import synthetic_problem
+        from repro.workloads.synthetic import SyntheticWorkloadConfig
+        from repro.device.catalog import synthetic_device
+
+        for seed in range(3):
+            device = synthetic_device(10, 4, bram_every=4, dsp_every=7, name=f"sweep-{seed}")
+            problem = synthetic_problem(
+                device=device,
+                config=SyntheticWorkloadConfig(num_regions=3, utilization=0.35, seed=seed),
+            )
+            report = FloorplanSolver(problem, options=fast_options).solve()
+            assert report.solution.status.has_solution, f"seed {seed} unsolved"
+            assert report.verification.is_feasible, f"seed {seed} failed verification"

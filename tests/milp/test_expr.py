@@ -1,0 +1,137 @@
+"""Unit tests for the affine-expression layer."""
+
+import pytest
+
+from repro.milp import Constraint, LinExpr, Model, Sense, Variable, VarType, quicksum
+from repro.milp.expr import as_expr
+
+
+@pytest.fixture()
+def variables():
+    model = Model("expr-test")
+    x = model.add_integer("x", lb=0, ub=10)
+    y = model.add_continuous("y", lb=0, ub=5)
+    z = model.add_binary("z")
+    return model, x, y, z
+
+
+class TestVariable:
+    def test_binary_bounds_are_clamped(self, variables):
+        _, _, _, z = variables
+        assert z.lb == 0.0 and z.ub == 1.0
+
+    def test_integrality_flags(self, variables):
+        _, x, y, z = variables
+        assert x.is_integral and z.is_integral and not y.is_integral
+
+    def test_unbounded_upper(self):
+        model = Model()
+        v = model.add_continuous("free", lb=None, ub=None)
+        assert v.lb == float("-inf") and v.ub == float("inf")
+
+    def test_repr_contains_name(self, variables):
+        _, x, _, _ = variables
+        assert "x" in repr(x)
+
+
+class TestLinExprArithmetic:
+    def test_add_variables(self, variables):
+        _, x, y, _ = variables
+        expr = x + y
+        assert expr.coefficient(x) == 1.0 and expr.coefficient(y) == 1.0
+
+    def test_scalar_multiplication(self, variables):
+        _, x, _, _ = variables
+        expr = 3 * x
+        assert expr.coefficient(x) == 3.0
+
+    def test_subtraction_and_constant(self, variables):
+        _, x, y, _ = variables
+        expr = 2 * x - y + 7
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == -1.0
+        assert expr.constant == 7.0
+
+    def test_negation(self, variables):
+        _, x, _, _ = variables
+        expr = -(x + 1)
+        assert expr.coefficient(x) == -1.0 and expr.constant == -1.0
+
+    def test_rsub(self, variables):
+        _, x, _, _ = variables
+        expr = 10 - x
+        assert expr.constant == 10.0 and expr.coefficient(x) == -1.0
+
+    def test_division(self, variables):
+        _, x, _, _ = variables
+        expr = (4 * x) / 2
+        assert expr.coefficient(x) == 2.0
+
+    def test_multiplying_two_expressions_is_rejected(self, variables):
+        _, x, y, _ = variables
+        with pytest.raises(TypeError):
+            (x + 1) * (y + 1)  # nonlinear
+
+    def test_evaluate(self, variables):
+        _, x, y, _ = variables
+        expr = 2 * x + 3 * y - 1
+        assert expr.evaluate({x: 2.0, y: 1.0}) == pytest.approx(6.0)
+
+    def test_quicksum_matches_repeated_add(self, variables):
+        _, x, y, z = variables
+        direct = x + y + z + 4
+        quick = quicksum([x, y, z, 4])
+        values = {x: 1.0, y: 2.0, z: 1.0}
+        assert direct.evaluate(values) == quick.evaluate(values)
+
+    def test_quicksum_empty(self):
+        expr = quicksum([])
+        assert expr.is_constant() and expr.constant == 0.0
+
+    def test_as_expr_round_trip(self, variables):
+        _, x, _, _ = variables
+        assert as_expr(x).coefficient(x) == 1.0
+        assert as_expr(5).constant == 5.0
+        with pytest.raises(TypeError):
+            as_expr("nope")
+
+    def test_copy_is_independent(self, variables):
+        _, x, _, _ = variables
+        original = x + 1
+        clone = original.copy()
+        clone._iadd(x, 1.0)
+        assert original.coefficient(x) == 1.0
+        assert clone.coefficient(x) == 2.0
+
+
+class TestComparisonsBuildConstraints:
+    def test_le_builds_constraint(self, variables):
+        _, x, y, _ = variables
+        constraint = x + y <= 4
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == pytest.approx(4.0)
+
+    def test_ge_builds_constraint(self, variables):
+        _, x, _, _ = variables
+        constraint = x >= 2
+        assert constraint.sense is Sense.GE
+
+    def test_eq_builds_constraint(self, variables):
+        _, x, y, _ = variables
+        constraint = x == y
+        assert constraint.sense is Sense.EQ
+        assert constraint.coefficient(x) == 1.0 and constraint.coefficient(y) == -1.0
+
+    def test_violation_measurement(self, variables):
+        _, x, _, _ = variables
+        constraint = x <= 3
+        assert constraint.violation({x: 5.0}) == pytest.approx(2.0)
+        assert constraint.violation({x: 2.0}) == 0.0
+        assert constraint.is_satisfied({x: 3.0})
+
+    def test_eq_violation_is_absolute(self, variables):
+        _, x, _, _ = variables
+        constraint = x == 2
+        assert constraint.violation({x: 0.0}) == pytest.approx(2.0)
+        assert constraint.violation({x: 4.0}) == pytest.approx(2.0)

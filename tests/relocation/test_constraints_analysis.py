@@ -1,0 +1,111 @@
+"""Tests of the MILP relocation extension (Sections IV and V) and the analysis."""
+
+import pytest
+
+from repro.floorplan import FloorplanSolver, verify_floorplan
+from repro.floorplan.milp_builder import build_floorplan_milp
+from repro.milp import SolverOptions, SolveStatus
+from repro.relocation import (
+    RelocationSpec,
+    apply_relocation_constraints,
+    feasibility_analysis,
+)
+from repro.relocation.analysis import count_reachable_copies, reachable_copies_by_region
+from repro.relocation.metric import (
+    relocation_cost,
+    relocation_cost_normalized,
+    relocation_summary,
+    satisfied_areas_by_region,
+)
+
+
+class TestRelocationConstraints:
+    def test_offset_variables_created_per_involved_area(self, tiny_problem):
+        spec = RelocationSpec.as_constraint({"beta": 1})
+        milp = build_floorplan_milp(tiny_problem, extra_areas=spec.build_area_specs(tiny_problem))
+        added = apply_relocation_constraints(milp)
+        assert set(added.offset) == {"beta", "beta 1"}
+        assert added.pairs == [("beta 1", "beta")]
+        assert added.num_constraints_added > 0
+        num_portions = tiny_problem.partition.num_portions
+        assert len(added.offset_vars("beta")) == num_portions
+
+    def test_no_free_areas_is_a_noop(self, tiny_problem):
+        milp = build_floorplan_milp(tiny_problem)
+        added = apply_relocation_constraints(milp)
+        assert added.pairs == [] and added.num_constraints_added == 0
+
+    def test_soft_areas_get_violation_binaries(self, tiny_problem):
+        spec = RelocationSpec.as_metric({"beta": 1, "gamma": 1})
+        milp = build_floorplan_milp(tiny_problem, extra_areas=spec.build_area_specs(tiny_problem))
+        assert set(milp.violation) == {"beta 1", "gamma 1"}
+        rl_cost = milp.relocation_cost_expr()
+        assert len(list(rl_cost.variables())) == 2
+        assert milp.relocation_cost_max() == pytest.approx(2.0)
+
+    def test_hard_constraint_solution_is_truly_compatible(self, tiny_relocation_solution):
+        report, spec = tiny_relocation_solution
+        floorplan = report.floorplan
+        assert floorplan.num_free_compatible_areas == spec.total_copies
+        # the independent verifier re-checks Definition .2 geometrically
+        assert verify_floorplan(floorplan).is_feasible
+
+    def test_offset_semantics_in_solution(self, tiny_relocation_solution):
+        """o[n,p] must flag exactly the first covered portion (eqs. 4-5)."""
+        report, _ = tiny_relocation_solution
+        milp = report.milp
+        solution = report.solution
+        # recompute offsets from the k values and compare with the o variables
+        from repro.relocation.constraints import apply_relocation_constraints  # noqa: F401
+
+        for area_name, k_vars in milp.k.items():
+            placement = report.floorplan.placement_for(area_name)
+            first_portion = milp.partition.portion_of_column(placement.rect.col).index
+            covered = [p for p, var in enumerate(k_vars) if solution.value(var) > 0.5]
+            assert covered, f"area {area_name} covers no portion"
+            assert covered[0] == first_portion
+
+    def test_metric_mode_never_infeasible(self, tiny_problem, fast_options):
+        # request an impossible number of copies: soft mode must still solve
+        spec = RelocationSpec.as_metric({"alpha": 6})
+        report = FloorplanSolver(tiny_problem, relocation=spec, options=fast_options).solve()
+        assert report.solution.status.has_solution
+        floorplan = report.floorplan
+        assert len(floorplan.free_areas) == 6
+        assert floorplan.num_free_compatible_areas < 6  # some areas violated
+        summary = relocation_summary(floorplan, spec)[0]
+        assert summary.missed == summary.requested - summary.satisfied
+        assert relocation_cost(floorplan, spec) == pytest.approx(summary.missed * 1.0)
+        assert 0 < relocation_cost_normalized(floorplan, spec) <= 1
+
+    def test_satisfied_areas_by_region(self, tiny_relocation_solution):
+        report, _ = tiny_relocation_solution
+        counts = satisfied_areas_by_region(report.floorplan)
+        assert counts == {"beta": 1, "gamma": 1}
+
+
+class TestFeasibilityAnalysis:
+    def test_per_region_feasibility(self, tiny_problem, fast_options):
+        results = feasibility_analysis(
+            tiny_problem, regions=["beta", "gamma"], options=fast_options
+        )
+        assert [r.region for r in results] == ["beta", "gamma"]
+        for result in results:
+            assert result.feasible
+            assert result.floorplan is not None
+            assert result.floorplan.num_free_compatible_areas == 1
+
+    def test_reachable_copies_counting(self, tiny_solution):
+        floorplan = tiny_solution.floorplan
+        counts = reachable_copies_by_region(floorplan)
+        assert set(counts) == set(floorplan.placements)
+        for name, count in counts.items():
+            assert count >= 0
+            assert count == count_reachable_copies(floorplan, name)
+
+    def test_reachable_copies_respects_cap(self, tiny_solution):
+        floorplan = tiny_solution.floorplan
+        name = next(iter(floorplan.placements))
+        unlimited = count_reachable_copies(floorplan, name)
+        capped = count_reachable_copies(floorplan, name, max_copies=1)
+        assert capped <= min(1, unlimited) or capped == min(1, unlimited)

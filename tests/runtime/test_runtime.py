@@ -1,0 +1,93 @@
+"""Tests of the run-time manager, scheduler and trace."""
+
+import pytest
+
+from repro.runtime import (
+    EventKind,
+    ModeSchedule,
+    ReconfigurationManager,
+    RuntimeError_,
+    round_robin_schedule,
+)
+from repro.runtime.scheduler import random_schedule
+
+
+@pytest.fixture(scope="module")
+def managed_floorplan(tiny_relocation_solution):
+    report, _ = tiny_relocation_solution
+    return report.floorplan
+
+
+class TestScheduler:
+    def test_round_robin(self):
+        schedule = round_robin_schedule(["A", "B"], modes_per_region=2, rounds=3)
+        assert len(schedule) == 6
+        assert schedule.regions() == ["A", "B"]
+        assert schedule.activations_per_region() == {"A": 3, "B": 3}
+
+    def test_random_schedule_is_seeded(self):
+        a = random_schedule(["A", "B"], length=10, seed=5)
+        b = random_schedule(["A", "B"], length=10, seed=5)
+        assert a.steps == b.steps
+        with pytest.raises(ValueError):
+            random_schedule([], length=3)
+
+
+class TestManager:
+    def test_requires_complete_floorplan(self, tiny_problem):
+        from repro.floorplan.placement import Floorplan
+
+        with pytest.raises(RuntimeError_):
+            ReconfigurationManager(Floorplan(problem=tiny_problem))
+
+    def test_configure_then_reconfigure(self, managed_floorplan):
+        manager = ReconfigurationManager(managed_floorplan)
+        first = manager.reconfigure("beta", "mode1")
+        assert manager.active_module("beta") == "mode1"
+        assert manager.memory.verify(first)
+        manager.reconfigure("beta", "mode2")
+        assert manager.active_module("beta") == "mode2"
+        assert manager.trace.count(EventKind.CONFIGURE) == 1
+        assert manager.trace.count(EventKind.RECONFIGURE) == 1
+
+    def test_relocate_uses_reserved_area(self, managed_floorplan):
+        manager = ReconfigurationManager(managed_floorplan)
+        manager.reconfigure("beta", "mode1")
+        home = manager.current_location("beta")
+        targets = manager.available_relocation_targets("beta")
+        assert targets, "the floorplan reserved a free-compatible area for beta"
+        relocated = manager.relocate("beta")
+        assert manager.current_location("beta") != home
+        assert manager.memory.verify(relocated)
+        assert manager.trace.count(EventKind.RELOCATE) == 1
+        # moving back home also works
+        manager.return_home("beta")
+        assert manager.current_location("beta") == home
+
+    def test_relocate_without_loaded_module_rejected(self, managed_floorplan):
+        manager = ReconfigurationManager(managed_floorplan)
+        with pytest.raises(RuntimeError_):
+            manager.relocate("beta")
+
+    def test_relocate_without_reserved_area_rejected(self, managed_floorplan):
+        manager = ReconfigurationManager(managed_floorplan)
+        manager.reconfigure("alpha", "mode1")  # alpha has no reserved areas
+        with pytest.raises(RuntimeError_):
+            manager.relocate("alpha")
+        assert manager.trace.count(EventKind.REJECT) == 1
+
+    def test_unknown_region_rejected(self, managed_floorplan):
+        manager = ReconfigurationManager(managed_floorplan)
+        with pytest.raises(RuntimeError_):
+            manager.reconfigure("nope", "mode1")
+
+    def test_schedule_replay_counts_frames(self, managed_floorplan):
+        manager = ReconfigurationManager(managed_floorplan)
+        schedule = round_robin_schedule(list(managed_floorplan.placements), rounds=2)
+        for region, mode in schedule:
+            manager.reconfigure(region, mode)
+        summary = manager.trace.summary()
+        assert summary["configure"] == len(managed_floorplan.placements)
+        assert summary["reconfigure"] == len(schedule) - len(managed_floorplan.placements)
+        assert summary["frames_written"] > 0
+        assert len(manager.trace) == len(schedule)

@@ -1,0 +1,128 @@
+"""Tests for the SDR/synthetic workloads and the reporting/rendering helpers."""
+
+import pytest
+
+from repro.analysis import format_table, render_device, render_floorplan, render_partition
+from repro.analysis.report import TABLE1_HEADERS, TABLE2_HEADERS, floorplan_report, table1_rows, table2_rows
+from repro.device import ResourceType
+from repro.floorplan import Rect
+from repro.floorplan.placement import Floorplan
+from repro.workloads import (
+    SDR_REGION_NAMES,
+    sdr_problem,
+    sdr2_spec,
+    sdr3_spec,
+    synthetic_problem,
+    SyntheticWorkloadConfig,
+)
+from repro.workloads.sdr import SDR_FRAMES, SDR_RELOCATABLE, mini_sdr_problem
+
+
+class TestSdrWorkload:
+    def test_table1_requirements_and_frames(self):
+        """Every row of Table I is reproduced exactly."""
+        problem = sdr_problem()
+        totals = {"CLB": 0, "BRAM": 0, "DSP": 0}
+        for region in problem.regions:
+            assert problem.required_frames(region) == SDR_FRAMES[region.name]
+            for rtype, count in region.requirements:
+                totals[rtype.value] += count
+        assert totals == {"CLB": 104, "BRAM": 5, "DSP": 11}
+        assert problem.total_required_frames() == 4202
+
+    def test_region_names_and_connections(self):
+        problem = sdr_problem()
+        assert problem.region_names == SDR_REGION_NAMES
+        # sequential 64-bit bus between consecutive modules
+        assert len(problem.connections) == 4
+        assert all(c.weight == 64.0 for c in problem.connections)
+
+    def test_specs(self):
+        assert sdr2_spec().total_copies == 6
+        assert sdr3_spec().total_copies == 9
+        assert set(sdr2_spec().regions) == set(SDR_RELOCATABLE)
+        assert not sdr2_spec(hard=False).has_hard_requests
+
+    def test_device_fits_demand(self):
+        problem = sdr_problem()
+        capacity = problem.device.total_resources()
+        demand = {"CLB": 104, "BRAM": 5, "DSP": 11}
+        for name, amount in demand.items():
+            assert capacity.get(ResourceType[name]) >= amount
+
+    def test_mini_sdr_is_consistent(self):
+        problem = mini_sdr_problem()
+        assert len(problem.regions) == 5
+        assert problem.total_required_frames() > 0
+
+
+class TestSyntheticWorkload:
+    def test_generation_is_seeded(self):
+        a = synthetic_problem(config=SyntheticWorkloadConfig(seed=3))
+        b = synthetic_problem(config=SyntheticWorkloadConfig(seed=3))
+        assert [r.requirements.as_dict() for r in a.regions] == [
+            r.requirements.as_dict() for r in b.regions
+        ]
+
+    def test_utilization_respected(self):
+        config = SyntheticWorkloadConfig(num_regions=4, utilization=0.4, seed=1)
+        problem = synthetic_problem(config=config)
+        capacity = problem.device.total_resources()
+        demand = sum((r.requirements for r in problem.regions), start=capacity.zero())
+        assert demand.get(ResourceType.CLB) <= capacity.get(ResourceType.CLB) * 0.5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(num_regions=0)
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(utilization=0.99)
+
+    def test_chain_connectivity(self):
+        problem = synthetic_problem(config=SyntheticWorkloadConfig(num_regions=5, seed=2))
+        assert len(problem.connections) == 4
+
+
+class TestReportingAndRendering:
+    def test_table1_rows_match_paper(self):
+        problem = sdr_problem()
+        rows = table1_rows(problem)
+        assert len(rows) == 6  # 5 regions + total
+        assert rows[-1] == ["Total", 104, 5, 11, 4202]
+        text = format_table(TABLE1_HEADERS, rows, title="Table I")
+        assert "Matched Filter" in text and "4202" in text
+
+    def test_table2_rows_handle_missing_entries(self, tiny_solution):
+        rows = table2_rows({
+            "PA": ("tiny", tiny_solution.floorplan),
+            "[8]": ("tiny", None),
+        })
+        assert rows[0][0] == "PA" and rows[1][2] == "-"
+        assert len(TABLE2_HEADERS) == 4
+
+    def test_floorplan_report_keys(self, tiny_solution):
+        report = floorplan_report(tiny_solution.floorplan)
+        for key in ("wasted_frames", "wirelength", "free_compatible_areas", "solver_status"):
+            assert key in report
+
+    def test_render_device_and_partition(self, fx70t_device):
+        from repro.device.partition import columnar_partition
+
+        text = render_device(fx70t_device)
+        assert "#" in text and "legend" in text
+        partition_text = render_partition(columnar_partition(fx70t_device))
+        assert "portions:" in partition_text and "forbidden:" in partition_text
+
+    def test_render_floorplan_lists_all_areas(self, tiny_relocation_solution):
+        report, _ = tiny_relocation_solution
+        text = render_floorplan(report.floorplan)
+        assert "regions:" in text
+        assert "free-compatible areas:" in text
+        for name in report.floorplan.placements:
+            assert name in text
+
+    def test_render_manual_floorplan(self, tiny_problem):
+        floorplan = Floorplan.from_rects(
+            tiny_problem, {"alpha": Rect(0, 0, 2, 2), "beta": Rect(3, 0, 2, 1), "gamma": Rect(6, 0, 2, 1)}
+        )
+        text = render_floorplan(floorplan)
+        assert "alpha" in text
