@@ -1,0 +1,88 @@
+"""Batch-service throughput: parallel fan-out vs. sequential solves, and the
+cold-vs-warm cache speedup of re-running an identical sweep.
+
+Run with ``PYTHONPATH=src pytest benchmarks/bench_service_throughput.py -q``.
+The parallel/sequential ratio depends on the core count of the machine (on a
+single-core box the process pool only adds overhead); the warm-cache speedup
+does not — replaying a sweep against a populated cache skips every solve and
+must come out far above the 2x bar on any hardware.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.device.catalog import synthetic_device
+from repro.milp import SolverOptions
+from repro.service import BatchSolver, SolveCache, sweep_jobs
+from repro.service.sweep import constraint_for
+from repro.utils.timing import Timer
+from repro.workloads.synthetic import config_grid
+
+
+@pytest.fixture(scope="module")
+def grid_jobs():
+    """An 8-job grid: 2 workload sizes x 2 seeds x (no relocation | 1 area)."""
+    device = synthetic_device(12, 5, bram_every=4, dsp_every=9, name="throughput-dev")
+    configs = config_grid(num_regions=(3, 4), utilizations=(0.45,), seeds=(0, 1))
+    time_limit = float(os.environ.get("REPRO_BENCH_TIME_LIMIT", 30))
+    options = SolverOptions(time_limit=time_limit, mip_gap=0.05)
+    jobs = sweep_jobs(
+        [device],
+        configs,
+        relocations=(None, constraint_for(regions=1, copies=1)),
+        modes=("HO",),
+        options=options,
+    )
+    assert len(jobs) >= 8
+    return jobs
+
+
+def test_batch_vs_sequential(grid_jobs):
+    """Wall-clock of one parallel batch vs. solving the jobs one by one."""
+    with Timer() as sequential:
+        seq_report = BatchSolver(executor="serial").solve_all(grid_jobs)
+    with Timer() as parallel:
+        par_report = BatchSolver(executor="process").solve_all(grid_jobs)
+
+    assert seq_report.num_feasible == len(grid_jobs)
+    assert par_report.num_feasible == len(grid_jobs)
+    # parallel execution must not change the solutions
+    for seq_result, par_result in zip(seq_report.results, par_report.results):
+        assert seq_result.fingerprint == par_result.fingerprint
+        assert seq_result.wasted_frames == par_result.wasted_frames
+
+    ratio = sequential.elapsed / max(parallel.elapsed, 1e-9)
+    print(
+        f"\nsequential {sequential.elapsed:.2f}s, parallel {parallel.elapsed:.2f}s "
+        f"({ratio:.2f}x, {len(grid_jobs)} jobs)"
+    )
+
+
+def test_warm_cache_resweep_speedup(grid_jobs, tmp_path):
+    """Re-running an identical sweep against a warm cache must be >= 2x faster."""
+    cache = SolveCache(tmp_path / "cache")
+    solver = BatchSolver(cache=cache, executor="process")
+
+    with Timer() as cold:
+        cold_report = solver.solve_all(grid_jobs)
+    with Timer() as warm:
+        warm_report = solver.solve_all(grid_jobs)
+
+    assert cold_report.cache_hits == 0
+    assert warm_report.cache_hits == len(grid_jobs)  # 100% hit rate
+    assert warm_report.hit_rate == 1.0
+
+    speedup = cold.elapsed / max(warm.elapsed, 1e-9)
+    print(
+        f"\ncold {cold.elapsed:.2f}s, warm {warm.elapsed:.4f}s "
+        f"({speedup:.0f}x over {len(grid_jobs)} jobs)"
+    )
+    assert speedup >= 2.0
+
+    # a fresh process (fresh cache object) still hits 100% via the disk layer
+    disk_solver = BatchSolver(cache=SolveCache(tmp_path / "cache"), executor="serial")
+    disk_report = disk_solver.solve_all(grid_jobs)
+    assert disk_report.cache_hits == len(grid_jobs)

@@ -1,0 +1,10 @@
+"""Thin shim for legacy editable installs.
+
+All project metadata lives in ``pyproject.toml``.  This file only enables
+``pip install -e . --no-use-pep517`` (and ``python setup.py develop``) in
+offline environments whose setuptools lacks the PEP 660 editable-wheel path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -16,7 +16,9 @@ The public API re-exported here is the surface a downstream user needs:
   simulated relocation filter and a small partial-reconfiguration run-time;
 * workloads (:mod:`repro.workloads`): the SDR case study and synthetic
   generators;
-* analysis (:mod:`repro.analysis`): ASCII floorplan rendering and tables.
+* analysis (:mod:`repro.analysis`): ASCII floorplan rendering and tables;
+* batch service (:mod:`repro.service`): content-addressed solve caching,
+  parallel batch execution, portfolio racing and scenario sweeps.
 
 Quickstart::
 
@@ -75,13 +77,35 @@ from repro.baselines import (
     first_fit_floorplan,
     tessellation_floorplan,
 )
+from repro.bitstream import (
+    ConfigurationMemory,
+    PartialBitstream,
+    RelocationError,
+    generate_bitstream,
+    relocate_bitstream,
+)
+from repro.runtime import (
+    ReconfigurationError,
+    ReconfigurationManager,
+    RuntimeTrace,
+)
 from repro.workloads import (
+    SyntheticWorkloadConfig,
     sdr_problem,
     sdr2_spec,
     sdr3_spec,
     synthetic_problem,
 )
 from repro.analysis import render_floorplan, render_partition
+from repro.service import (
+    BatchSolver,
+    SolveCache,
+    SolveJob,
+    SweepReport,
+    run_portfolio,
+    run_sweep,
+    sweep_jobs,
+)
 
 __version__ = "1.0.0"
 
@@ -130,12 +154,31 @@ __all__ = [
     "first_fit_floorplan",
     "tessellation_floorplan",
     "annealing_floorplan",
+    # bitstreams
+    "PartialBitstream",
+    "generate_bitstream",
+    "relocate_bitstream",
+    "RelocationError",
+    "ConfigurationMemory",
+    # runtime
+    "ReconfigurationManager",
+    "ReconfigurationError",
+    "RuntimeTrace",
     # workloads
     "sdr_problem",
     "sdr2_spec",
     "sdr3_spec",
+    "SyntheticWorkloadConfig",
     "synthetic_problem",
     # analysis
     "render_floorplan",
     "render_partition",
+    # batch service
+    "SolveJob",
+    "SolveCache",
+    "BatchSolver",
+    "SweepReport",
+    "sweep_jobs",
+    "run_sweep",
+    "run_portfolio",
 ]

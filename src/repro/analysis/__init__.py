@@ -1,7 +1,13 @@
 """Rendering and reporting helpers (the textual Figures and Tables)."""
 
 from repro.analysis.render import render_device, render_floorplan, render_partition
-from repro.analysis.report import format_table, table1_rows, table2_rows
+from repro.analysis.report import (
+    SWEEP_HEADERS,
+    format_table,
+    sweep_table_rows,
+    table1_rows,
+    table2_rows,
+)
 
 __all__ = [
     "render_device",
@@ -10,4 +16,6 @@ __all__ = [
     "format_table",
     "table1_rows",
     "table2_rows",
+    "sweep_table_rows",
+    "SWEEP_HEADERS",
 ]

@@ -89,6 +89,44 @@ def table2_rows(
 TABLE2_HEADERS = ["Algorithm", "Design", "Free-compatible areas", "Wasted frames"]
 
 
+SWEEP_HEADERS = [
+    "Job",
+    "Mode",
+    "Status",
+    "Feasible",
+    "Wasted frames",
+    "Wirelength",
+    "Solve time (s)",
+    "Cached",
+]
+
+
+def sweep_table_rows(results: Sequence[object]) -> List[List[object]]:
+    """Per-job rows for a batch/sweep run.
+
+    ``results`` are :class:`repro.service.results.JobResult`-shaped objects
+    (duck-typed so this module stays independent of the service layer).
+    Missing metrics render as dashes, mirroring :func:`table2_rows`.
+    """
+    rows: List[List[object]] = []
+    for result in results:
+        wasted = result.wasted_frames
+        wires = result.wirelength
+        rows.append(
+            [
+                result.job_name,
+                result.mode,
+                result.status,
+                "yes" if result.feasible else "no",
+                wasted if wasted is not None else "-",
+                f"{wires:.1f}" if wires is not None else "-",
+                f"{result.solve_time:.2f}",
+                "hit" if result.cached else "miss",
+            ]
+        )
+    return rows
+
+
 def floorplan_report(floorplan: Floorplan) -> Dict[str, object]:
     """A flat dictionary describing a solved floorplan (for EXPERIMENTS.md)."""
     metrics = evaluate_floorplan(floorplan)

@@ -96,9 +96,14 @@ class SequencePair:
     def from_rects(rects: Mapping[str, Rect]) -> "SequencePair":
         """Extract a sequence pair consistent with a non-overlapping placement.
 
-        For every pair of rectangles a separating direction is chosen
-        (horizontal separation wins ties), the two induced partial orders are
-        built and topologically sorted into ``Gamma+`` and ``Gamma-``.
+        Pairs whose rectangles overlap in rows (or columns) have their
+        relation dictated by the placement and are inserted first.  Pairs
+        separated in *both* axes ("diagonal" pairs) admit two valid relations;
+        picking one per pair in isolation can create a cyclic combined order
+        even for valid placements, so each diagonal pair is resolved against
+        the partial orders built so far (horizontal separation preferred,
+        falling back to vertical when the horizontal choice would close a
+        cycle).
 
         Raises
         ------
@@ -106,10 +111,22 @@ class SequencePair:
             If two rectangles overlap (no separating direction exists).
         """
         names = sorted(rects.keys())
-        relations: Dict[Tuple[str, str], str] = {}
+        forced: List[Tuple[str, str, str]] = []
+        flexible: List[Tuple[str, str, Tuple[str, str]]] = []
         for i, a in enumerate(names):
             for b in names[i + 1 :]:
-                relations[(a, b)] = _separating_relation(a, b, rects[a], rects[b])
+                ra, rb = rects[a], rects[b]
+                horizontal = _horizontal_relation(ra, rb)
+                vertical = _vertical_relation(ra, rb)
+                if horizontal is None and vertical is None:
+                    raise ValueError(
+                        f"rectangles {a!r} ({ra}) and {b!r} ({rb}) overlap; "
+                        "a sequence pair requires a non-overlapping placement"
+                    )
+                if horizontal is not None and vertical is not None:
+                    flexible.append((a, b, (horizontal, vertical)))
+                else:
+                    forced.append((a, b, horizontal or vertical))
 
         # Gamma+ partial order: a < b when a left-of b OR a above b.
         # Gamma- partial order: a < b when a left-of b OR a below b.
@@ -117,19 +134,21 @@ class SequencePair:
         graph_minus = nx.DiGraph()
         graph_plus.add_nodes_from(names)
         graph_minus.add_nodes_from(names)
-        for (a, b), relation in relations.items():
-            if relation == RELATION_LEFT:
-                graph_plus.add_edge(a, b)
-                graph_minus.add_edge(a, b)
-            elif relation == RELATION_RIGHT:
-                graph_plus.add_edge(b, a)
-                graph_minus.add_edge(b, a)
-            elif relation == RELATION_BELOW:
-                graph_plus.add_edge(b, a)
-                graph_minus.add_edge(a, b)
-            else:  # a above b
-                graph_plus.add_edge(a, b)
-                graph_minus.add_edge(b, a)
+        for a, b, relation in forced:
+            _add_relation_edges(graph_plus, graph_minus, a, b, relation)
+        if not (nx.is_directed_acyclic_graph(graph_plus) and
+                nx.is_directed_acyclic_graph(graph_minus)):
+            raise ValueError("placement induces contradictory forced relations")
+
+        for a, b, candidates in flexible:
+            for relation in candidates:
+                if _relation_is_safe(graph_plus, graph_minus, a, b, relation):
+                    _add_relation_edges(graph_plus, graph_minus, a, b, relation)
+                    break
+            else:
+                raise ValueError(
+                    f"could not order areas {a!r} and {b!r} without a cycle"
+                )
 
         gamma_plus = tuple(nx.lexicographical_topological_sort(graph_plus))
         gamma_minus = tuple(nx.lexicographical_topological_sort(graph_minus))
@@ -142,17 +161,49 @@ class SequencePair:
         return SequencePair.from_rects(rects)
 
 
-def _separating_relation(a: str, b: str, ra: Rect, rb: Rect) -> str:
-    """Pick the relation of ``a`` w.r.t. ``b`` for two disjoint rectangles."""
+def _horizontal_relation(ra: Rect, rb: Rect) -> str | None:
+    """``a``'s horizontal relation to ``b``, or ``None`` if columns overlap."""
     if ra.col_end < rb.col:
         return RELATION_LEFT
     if rb.col_end < ra.col:
         return RELATION_RIGHT
+    return None
+
+
+def _vertical_relation(ra: Rect, rb: Rect) -> str | None:
+    """``a``'s vertical relation to ``b``, or ``None`` if rows overlap."""
     if ra.row_end < rb.row:
         return RELATION_BELOW
     if rb.row_end < ra.row:
         return RELATION_ABOVE
-    raise ValueError(
-        f"rectangles {a!r} ({ra}) and {b!r} ({rb}) overlap; "
-        "a sequence pair requires a non-overlapping placement"
+    return None
+
+
+#: Edge directions each relation of ``(a, b)`` adds to ``(Gamma+, Gamma-)``:
+#: True = edge a->b, False = edge b->a.
+_RELATION_EDGES = {
+    RELATION_LEFT: (True, True),
+    RELATION_RIGHT: (False, False),
+    RELATION_BELOW: (False, True),
+    RELATION_ABOVE: (True, False),
+}
+
+
+def _add_relation_edges(
+    graph_plus: "nx.DiGraph", graph_minus: "nx.DiGraph", a: str, b: str, relation: str
+) -> None:
+    forward_plus, forward_minus = _RELATION_EDGES[relation]
+    graph_plus.add_edge(a, b) if forward_plus else graph_plus.add_edge(b, a)
+    graph_minus.add_edge(a, b) if forward_minus else graph_minus.add_edge(b, a)
+
+
+def _relation_is_safe(
+    graph_plus: "nx.DiGraph", graph_minus: "nx.DiGraph", a: str, b: str, relation: str
+) -> bool:
+    """Whether adding the relation's edges keeps both partial orders acyclic."""
+    forward_plus, forward_minus = _RELATION_EDGES[relation]
+    plus_src, plus_dst = (a, b) if forward_plus else (b, a)
+    minus_src, minus_dst = (a, b) if forward_minus else (b, a)
+    return not nx.has_path(graph_plus, plus_dst, plus_src) and not nx.has_path(
+        graph_minus, minus_dst, minus_src
     )

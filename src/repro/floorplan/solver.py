@@ -35,13 +35,17 @@ from repro.milp import MILPSolution, SolverOptions, solve
 
 @dataclasses.dataclass
 class SolveReport:
-    """Everything produced by one :meth:`FloorplanSolver.solve` call."""
+    """Everything produced by one :meth:`FloorplanSolver.solve` call.
+
+    ``milp`` is ``None`` on *portable* reports (see :meth:`portable`), which
+    drop the model so the report pickles cheaply across process boundaries.
+    """
 
     floorplan: Floorplan
     solution: MILPSolution
     metrics: Optional[FloorplanMetrics]
     verification: Optional[VerificationReport]
-    milp: FloorplanMILP
+    milp: Optional[FloorplanMILP] = None
 
     @property
     def feasible(self) -> bool:
@@ -50,6 +54,22 @@ class SolveReport:
             self.solution.status.has_solution
             and self.verification is not None
             and self.verification.is_feasible
+        )
+
+    def portable(self) -> "SolveReport":
+        """A copy safe and cheap to pickle across processes.
+
+        Drops the MILP model and the per-variable incumbent (the floorplan is
+        already extracted), shrinking the pickled payload by two orders of
+        magnitude.  Metrics, verification and solve metadata are preserved.
+        """
+        slim_solution = dataclasses.replace(self.solution, values={})
+        return SolveReport(
+            floorplan=self.floorplan,
+            solution=slim_solution,
+            metrics=self.metrics,
+            verification=self.verification,
+            milp=None,
         )
 
     def summary(self) -> str:
@@ -205,18 +225,45 @@ class FloorplanSolver:
 
     # ------------------------------------------------------------------
     def _finalize(self, milp: FloorplanMILP, solution: MILPSolution) -> SolveReport:
-        floorplan = milp.extract(solution)
-        if self._seed is not None:
-            floorplan.metadata["ho_seed_status"] = self._seed.floorplan.solver_status
-        metrics = None
-        verification = None
-        if solution.status.has_solution and floorplan.is_complete:
-            metrics = evaluate_floorplan(floorplan)
-            verification = verify_floorplan(floorplan)
-        return SolveReport(
-            floorplan=floorplan,
-            solution=solution,
-            metrics=metrics,
-            verification=verification,
-            milp=milp,
-        )
+        return _finalize_report(milp, solution, seed=self._seed)
+
+
+def run_job(job) -> SolveReport:
+    """Pure, picklable-result entry point used by :mod:`repro.service`.
+
+    ``job`` is any object exposing the :class:`~repro.service.jobs.SolveJob`
+    attributes (``problem``, ``relocation``, ``mode``, ``options``,
+    ``heuristic``, ``weights``, ``lexicographic``) — duck-typed so this module
+    does not depend on the service layer.  The function holds no state and
+    returns a :meth:`SolveReport.portable` report, which makes it safe to run
+    inside :class:`concurrent.futures.ProcessPoolExecutor` workers.
+    """
+    solver = FloorplanSolver(
+        job.problem,
+        relocation=job.relocation,
+        mode=job.mode,
+        options=job.options,
+        heuristic=job.heuristic,
+    )
+    report = solver.solve(weights=job.weights, lexicographic=job.lexicographic)
+    return report.portable()
+
+
+def _finalize_report(
+    milp: FloorplanMILP, solution: MILPSolution, seed=None
+) -> SolveReport:
+    floorplan = milp.extract(solution)
+    if seed is not None:
+        floorplan.metadata["ho_seed_status"] = seed.floorplan.solver_status
+    metrics = None
+    verification = None
+    if solution.status.has_solution and floorplan.is_complete:
+        metrics = evaluate_floorplan(floorplan)
+        verification = verify_floorplan(floorplan)
+    return SolveReport(
+        floorplan=floorplan,
+        solution=solution,
+        metrics=metrics,
+        verification=verification,
+        milp=milp,
+    )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+from typing import Dict, Mapping
 
 from repro.milp.branch_bound import solve_with_branch_bound
 from repro.milp.model import Model
@@ -10,9 +11,13 @@ from repro.milp.scipy_backend import solve_with_scipy
 from repro.milp.solution import MILPSolution
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class SolverOptions:
     """Options shared by all MILP backends.
+
+    The dataclass is frozen so that option sets are hashable and can key
+    caches (see :mod:`repro.service.jobs`); use :meth:`replace` to derive
+    variants.
 
     Attributes
     ----------
@@ -38,6 +43,22 @@ class SolverOptions:
     def replace(self, **changes) -> "SolverOptions":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (stable key order)."""
+        return {
+            "backend": self.backend,
+            "time_limit": self.time_limit,
+            "mip_gap": self.mip_gap,
+            "max_nodes": self.max_nodes,
+            "verbose": self.verbose,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SolverOptions":
+        """Rebuild options from :meth:`as_dict` output."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 def solve(model: Model, options: SolverOptions | None = None) -> MILPSolution:

@@ -11,13 +11,18 @@ activation schedules and :mod:`~repro.runtime.trace` records what happened so
 the benchmarks can report reconfiguration counts and moved frame volumes.
 """
 
-from repro.runtime.manager import ReconfigurationManager, RuntimeError_
+from repro.runtime.manager import (
+    ReconfigurationError,
+    ReconfigurationManager,
+    RuntimeError_,
+)
 from repro.runtime.scheduler import ModeSchedule, round_robin_schedule
 from repro.runtime.trace import EventKind, RuntimeTrace, TraceEvent
 
 __all__ = [
     "ReconfigurationManager",
-    "RuntimeError_",
+    "ReconfigurationError",
+    "RuntimeError_",  # deprecated alias of ReconfigurationError
     "ModeSchedule",
     "round_robin_schedule",
     "RuntimeTrace",

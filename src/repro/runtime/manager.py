@@ -27,8 +27,13 @@ from repro.floorplan.placement import Floorplan
 from repro.runtime.trace import EventKind, RuntimeTrace, TraceEvent
 
 
-class RuntimeError_(RuntimeError):
+class ReconfigurationError(RuntimeError):
     """Raised on invalid run-time requests (unknown region, no free area...)."""
+
+
+#: Deprecated alias kept for backwards compatibility; use
+#: :class:`ReconfigurationError` instead.
+RuntimeError_ = ReconfigurationError
 
 
 class ReconfigurationManager:
@@ -36,7 +41,7 @@ class ReconfigurationManager:
 
     def __init__(self, floorplan: Floorplan) -> None:
         if not floorplan.is_complete:
-            raise RuntimeError_("the floorplan must place every region")
+            raise ReconfigurationError("the floorplan must place every region")
         self.floorplan = floorplan
         self.device = floorplan.device
         self.partition = floorplan.problem.partition
@@ -118,7 +123,7 @@ class ReconfigurationManager:
         self._check_region(region)
         mode = self._current_module[region]
         if mode is None:
-            raise RuntimeError_(f"region {region!r} has no loaded module to relocate")
+            raise ReconfigurationError(f"region {region!r} has no loaded module to relocate")
         targets = self.available_relocation_targets(region)
         if target is None:
             if not targets:
@@ -132,7 +137,7 @@ class ReconfigurationManager:
                         detail="no free-compatible area available",
                     )
                 )
-                raise RuntimeError_(
+                raise ReconfigurationError(
                     f"no free-compatible area available for region {region!r}"
                 )
             target = targets[0]
@@ -157,7 +162,7 @@ class ReconfigurationManager:
                     detail=str(exc),
                 )
             )
-            raise RuntimeError_(str(exc)) from exc
+            raise ReconfigurationError(str(exc)) from exc
 
         self.memory.unload(self._module_key(region, mode))
         # relocated bitstream keeps the module identity but a new anchor
@@ -181,7 +186,7 @@ class ReconfigurationManager:
         self._check_region(region)
         home = self.floorplan.placements[region].rect
         if self._current_rect[region] == home:
-            raise RuntimeError_(f"region {region!r} is already at its home placement")
+            raise ReconfigurationError(f"region {region!r} is already at its home placement")
         return self.relocate(region, target=home)
 
     # ------------------------------------------------------------------
@@ -203,4 +208,4 @@ class ReconfigurationManager:
 
     def _check_region(self, region: str) -> None:
         if region not in self._current_rect:
-            raise RuntimeError_(f"unknown region {region!r}")
+            raise ReconfigurationError(f"unknown region {region!r}")

@@ -1,0 +1,150 @@
+"""Content-addressed solve-result cache (in-memory + JSON-on-disk).
+
+Results are keyed by the :class:`~repro.service.jobs.SolveJob` fingerprint, so
+any two jobs with identical content — regardless of where or when they were
+built — share one cache entry.  The in-memory layer makes repeated lookups
+free inside one process; the optional directory layer persists every entry as
+``<fingerprint>.json`` so warm sweeps survive process restarts.
+
+Disk writes are atomic (write to a temp file, then :func:`os.replace`) so a
+killed run never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.service.results import JobResult
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`SolveCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SolveCache:
+    """Content-addressed store of :class:`~repro.service.results.JobResult`.
+
+    Parameters
+    ----------
+    directory:
+        Optional directory for the JSON persistence layer; created on demand.
+        ``None`` keeps the cache purely in-memory.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.stats = CacheStats()
+        self._memory: Dict[str, JobResult] = {}
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[JobResult]:
+        """Look a result up, trying memory first, then disk."""
+        result = self._memory.get(fingerprint)
+        if result is None and self.directory is not None:
+            result = self._load(fingerprint)
+            if result is not None:
+                self._memory[fingerprint] = result
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, result: JobResult) -> None:
+        """Store a result under its fingerprint (memory + disk)."""
+        self.stats.stores += 1
+        self._memory[result.fingerprint] = result
+        if self.directory is not None:
+            self._dump(result)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        if fingerprint in self._memory:
+            return True
+        return self.directory is not None and self._path(fingerprint).exists()
+
+    def __len__(self) -> int:
+        return len(set(self._memory) | set(self._disk_fingerprints()))
+
+    def fingerprints(self) -> Iterator[str]:
+        """Every cached fingerprint (memory and disk, deduplicated)."""
+        yield from sorted(set(self._memory) | set(self._disk_fingerprints()))
+
+    def clear(self, disk: bool = True) -> None:
+        """Drop all entries (and, optionally, the persisted files)."""
+        self._memory.clear()
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+
+    def drop_memory(self) -> None:
+        """Forget the in-memory layer only (used to test disk round-trips)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def _path(self, fingerprint: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{fingerprint}.json"
+
+    def _disk_fingerprints(self) -> Iterator[str]:
+        if self.directory is None or not self.directory.exists():
+            return
+        for path in self.directory.glob("*.json"):
+            yield path.stem
+
+    def _load(self, fingerprint: str) -> Optional[JobResult]:
+        path = self._path(fingerprint)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = JobResult.from_dict(data)
+        except (OSError, json.JSONDecodeError, TypeError, ValueError, KeyError):
+            return None  # unreadable or schema-mismatched entry -> miss, re-solve
+        result.cached = False  # the flag describes this run, not the stored one
+        return result
+
+    def _dump(self, result: JobResult) -> None:
+        assert self.directory is not None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        data = result.as_dict()
+        data["cached"] = False
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{result.fingerprint[:12]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, indent=1)
+            os.replace(tmp_name, self._path(result.fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -8,7 +8,8 @@ drawn from a seeded random generator so that runs are reproducible.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+import itertools
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -52,6 +53,30 @@ class SyntheticWorkloadConfig:
             raise ValueError("num_regions must be positive")
         if not 0 < self.utilization <= 0.95:
             raise ValueError("utilization must be in (0, 0.95]")
+
+
+def config_grid(
+    num_regions: Sequence[int] = (3, 5),
+    utilizations: Sequence[float] = (0.5,),
+    seeds: Sequence[int] = (0,),
+    **common,
+) -> List[SyntheticWorkloadConfig]:
+    """Cross parameter axes into a grid of workload configs.
+
+    The cartesian product ``num_regions x utilizations x seeds`` is returned
+    in deterministic (itertools.product) order; ``common`` supplies the
+    remaining :class:`SyntheticWorkloadConfig` fields shared by every cell.
+    The scenario-sweep driver (:mod:`repro.service.sweep`) crosses these
+    configs with devices and relocation specs into solve-job grids.
+    """
+    return [
+        SyntheticWorkloadConfig(
+            num_regions=regions, utilization=utilization, seed=seed, **common
+        )
+        for regions, utilization, seed in itertools.product(
+            num_regions, utilizations, seeds
+        )
+    ]
 
 
 def synthetic_problem(

@@ -94,6 +94,31 @@ class TestOMode:
         assert lex.metrics is not None and plain.metrics is not None
         assert lex.metrics.wasted_frames <= plain.metrics.wasted_frames + 1e-6
 
+    def test_lexicographic_solve_is_verified_and_caps_area(
+        self, tiny_problem, fast_options
+    ):
+        report = FloorplanSolver(tiny_problem, options=fast_options).solve(
+            lexicographic=True
+        )
+        # phase 2 must return a verified-feasible floorplan...
+        assert report.feasible
+        assert report.verification.is_feasible
+        assert report.metrics is not None
+        # ...solved against the phase-1 area cap added to the model
+        names = [constraint.name for constraint in report.milp.model.constraints]
+        assert "lex_area_cap" in names
+
+    def test_lexicographic_matches_area_optimum(self, tiny_problem, fast_options):
+        area_only = FloorplanSolver(
+            tiny_problem, options=fast_options.replace(mip_gap=None)
+        ).solve(weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0))
+        lex = FloorplanSolver(
+            tiny_problem, options=fast_options.replace(mip_gap=None)
+        ).solve(lexicographic=True)
+        # with both phases solved to optimality, the lexicographic wasted-frame
+        # count equals the pure area optimum (the Section VI protocol)
+        assert lex.metrics.wasted_frames == area_only.metrics.wasted_frames
+
     def test_invalid_mode_rejected(self, tiny_problem):
         with pytest.raises(ValueError):
             FloorplanSolver(tiny_problem, mode="X")

@@ -54,6 +54,20 @@ class TestSequencePair:
         with pytest.raises(ValueError):
             pair.relation("A", "A")
 
+    def test_extraction_from_cycle_inducing_placement(self):
+        # Regression: resolving each diagonal pair in isolation (horizontal
+        # always winning) made the combined Gamma- order cyclic for this
+        # valid tessellation placement, crashing the HO seeder.
+        rects = {
+            "R2": Rect(0, 0, 8, 1),
+            "R0": Rect(5, 1, 7, 1),
+            "R1": Rect(0, 2, 6, 1),
+            "R3": Rect(9, 0, 3, 1),
+        }
+        pair = SequencePair.from_rects(rects)
+        assert pair.is_consistent_with(rects)
+        assert len(pair.relations()) == 12
+
     def test_semantics_of_hand_built_pair(self):
         # A before B in both -> left; C after B in plus, before in minus -> below
         pair = SequencePair(("A", "B", "C"), ("C", "A", "B"))

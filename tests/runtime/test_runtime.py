@@ -91,3 +91,63 @@ class TestManager:
         assert summary["reconfigure"] == len(schedule) - len(managed_floorplan.placements)
         assert summary["frames_written"] > 0
         assert len(manager.trace) == len(schedule)
+
+
+class TestAvailableRelocationTargets:
+    """Occupied-area exclusion in ``available_relocation_targets``."""
+
+    @pytest.fixture()
+    def crowded_manager(self, two_type_device):
+        from repro.device.resources import ResourceVector
+        from repro.floorplan.geometry import Rect
+        from repro.floorplan.placement import Floorplan
+        from repro.floorplan.problem import FloorplanProblem, Region
+
+        regions = [
+            Region("A", ResourceVector(CLB=4)),
+            Region("B", ResourceVector(CLB=4)),
+        ]
+        problem = FloorplanProblem(two_type_device, regions, name="targets")
+        # A and B each get a reserved area, but both reservations share ONE
+        # rectangle — whoever relocates first occupies it for the other
+        shared = Rect(2, 0, 2, 2)
+        floorplan = Floorplan.from_rects(
+            problem,
+            {"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 2, 2)},
+            free_rects={"A 1": (shared, "A"), "B 1": (shared, "B")},
+        )
+        manager = ReconfigurationManager(floorplan)
+        manager.reconfigure("A", "m1")
+        manager.reconfigure("B", "m1")
+        return manager, shared
+
+    def test_free_area_visible_while_unoccupied(self, crowded_manager):
+        manager, shared = crowded_manager
+        assert manager.available_relocation_targets("A") == [shared]
+        assert manager.available_relocation_targets("B") == [shared]
+
+    def test_area_occupied_by_other_region_is_excluded(self, crowded_manager):
+        manager, shared = crowded_manager
+        manager.relocate("A", target=shared)
+        # B's only reserved area is now hosting A's module
+        assert manager.available_relocation_targets("B") == []
+        # ...and A's own current rectangle is excluded from its own targets
+        assert manager.available_relocation_targets("A") == []
+        with pytest.raises(RuntimeError_):
+            manager.relocate("B")
+
+    def test_area_freed_again_after_return_home(self, crowded_manager):
+        manager, shared = crowded_manager
+        manager.relocate("A", target=shared)
+        manager.return_home("A")
+        assert manager.available_relocation_targets("B") == [shared]
+
+    def test_unsatisfied_soft_area_is_excluded(self, crowded_manager):
+        from repro.floorplan.geometry import Rect
+        from repro.floorplan.placement import RegionPlacement
+
+        manager, shared = crowded_manager
+        manager.floorplan.free_areas["B 2"] = RegionPlacement(
+            name="B 2", rect=Rect(7, 0, 2, 2), compatible_with="B", satisfied=False
+        )
+        assert manager.available_relocation_targets("B") == [shared]

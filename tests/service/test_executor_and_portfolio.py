@@ -1,0 +1,307 @@
+"""Batch execution, sweep aggregation and portfolio racing.
+
+The MILP-solving tests share one module-scoped job grid (8 jobs on a small
+device) and one cold batch solve, so the whole file adds a handful of
+seconds, not a fresh solve per test.
+"""
+
+import pytest
+
+from repro.device.catalog import synthetic_device
+from repro.milp import SolverOptions
+from repro.service import (
+    BatchSolver,
+    SolveCache,
+    Strategy,
+    run_portfolio,
+    run_sweep,
+    sweep_jobs,
+)
+from repro.service.portfolio import _pick_winner
+from repro.service.sweep import constraint_for
+from repro.workloads.synthetic import config_grid
+
+FAST = SolverOptions(time_limit=30, mip_gap=0.05)
+
+
+@pytest.fixture(scope="module")
+def grid_jobs():
+    """8 jobs: (2 sizes x 2 seeds) x (no relocation | one hard area)."""
+    device = synthetic_device(12, 5, bram_every=4, dsp_every=9, name="svc-test-dev")
+    configs = config_grid(num_regions=(3, 4), utilizations=(0.45,), seeds=(0, 1))
+    jobs = sweep_jobs(
+        [device],
+        configs,
+        relocations=(None, constraint_for(regions=1, copies=1)),
+        modes=("HO",),
+        options=FAST,
+    )
+    assert len(jobs) == 8
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def shared_cache(tmp_path_factory):
+    return SolveCache(tmp_path_factory.mktemp("solve-cache"))
+
+
+@pytest.fixture(scope="module")
+def cold_report(grid_jobs, shared_cache):
+    """The grid solved once, in parallel, populating the shared cache."""
+    return BatchSolver(cache=shared_cache, executor="process").solve_all(grid_jobs)
+
+
+class TestBatchSolver:
+    def test_parallel_grid_is_verified_feasible(self, cold_report, grid_jobs):
+        assert len(cold_report.results) == len(grid_jobs)
+        assert cold_report.num_feasible == len(grid_jobs)
+        assert cold_report.num_errors == 0
+        assert cold_report.cache_hits == 0
+        for job, result in zip(grid_jobs, cold_report.results):
+            assert result.fingerprint == job.fingerprint  # submission order kept
+
+    def test_warm_rerun_hits_cache_for_every_job(self, cold_report, grid_jobs, shared_cache):
+        warm = BatchSolver(cache=shared_cache, executor="process").solve_all(grid_jobs)
+        assert warm.cache_hits == len(grid_jobs)
+        assert warm.hit_rate == 1.0
+        assert all(result.cached for result in warm.results)
+
+    def test_cached_results_are_deterministic(self, cold_report, grid_jobs, shared_cache):
+        # a brand-new cache object reading the same directory reproduces the
+        # cold results exactly (fingerprints and solution metrics)
+        disk = BatchSolver(
+            cache=SolveCache(shared_cache.directory), executor="serial"
+        ).solve_all(grid_jobs)
+        assert disk.cache_hits == len(grid_jobs)
+        for cold_result, disk_result in zip(cold_report.results, disk.results):
+            assert disk_result.fingerprint == cold_result.fingerprint
+            assert disk_result.wasted_frames == cold_result.wasted_frames
+            assert disk_result.status == cold_result.status
+
+    def test_duplicate_jobs_are_deduplicated(self, grid_jobs):
+        job = grid_jobs[0]
+        solver = BatchSolver(executor="serial")  # private in-memory cache
+        report = solver.solve_all([job, job, job])
+        assert len(report.results) == 3
+        assert {result.fingerprint for result in report.results} == {job.fingerprint}
+        # one solve, two fan-out copies
+        assert sum(1 for result in report.results if not result.cached) == 1
+        assert solver.cache.stats.stores == 1
+
+    def test_failures_are_captured_not_raised(self, grid_jobs):
+        job = type(grid_jobs[0])(
+            problem=grid_jobs[0].problem,
+            options=SolverOptions(backend="no-such-backend"),
+        )
+        report = BatchSolver(executor="serial").solve_all([job])
+        assert report.num_errors == 1
+        assert report.results[0].status == "error"
+        assert "no-such-backend" in report.results[0].error
+
+    def test_streaming_interface_labels_indices(self, grid_jobs, shared_cache):
+        solver = BatchSolver(cache=shared_cache, executor="serial")
+        seen = sorted(
+            index for index, _job, _result in solver.iter_results(grid_jobs)
+        )
+        assert seen == list(range(len(grid_jobs)))
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSolver(executor="gpu")
+
+    def test_sweep_report_formatting(self, cold_report):
+        table = cold_report.format(title="grid")
+        assert "Wasted frames" in table and "svc-test-dev" in table
+        summary = cold_report.summary()
+        assert "8 jobs" in summary and "8 feasible" in summary
+
+    def test_run_sweep_convenience(self, grid_jobs, shared_cache):
+        report = run_sweep(grid_jobs, cache=shared_cache, executor="serial")
+        assert report.hit_rate == 1.0
+
+
+class TestSweepJobs:
+    def test_grid_shape_and_order(self, grid_jobs):
+        # devices x configs x relocations x modes, relocation innermost-but-one
+        assert grid_jobs[0].relocation is None
+        assert grid_jobs[1].relocation is not None
+        names = [job.problem.name for job in grid_jobs]
+        assert names[0] == names[1]  # same problem, different relocation entry
+        assert len(set(names)) == 4  # 4 distinct (device, config) cells
+
+    def test_constraint_for_targets_first_regions(self, grid_jobs):
+        spec = grid_jobs[1].relocation
+        assert spec.regions == [grid_jobs[1].problem.region_names[0]]
+        assert spec.total_copies == 1
+
+
+class TestPortfolio:
+    @pytest.fixture(scope="class")
+    def race(self, grid_jobs):
+        job = grid_jobs[0]
+        return run_portfolio(
+            job.problem,
+            options=FAST,
+            strategies=(
+                Strategy("HO-tessellation", kind="milp", mode="HO"),
+                Strategy("annealing", kind="annealing"),
+            ),
+            policy="best",
+            executor="serial",
+        )
+
+    def test_winner_is_best_feasible_by_objective_key(self, race):
+        feasible = {
+            name: outcome
+            for name, outcome in race.outcomes.items()
+            if outcome.feasible
+        }
+        assert feasible, "at least one strategy must solve the instance"
+        expected = min(feasible, key=lambda name: feasible[name].objective_key())
+        assert race.winner == expected
+        assert race.winner_result is feasible[race.winner]
+
+    def test_every_strategy_reported(self, race):
+        assert list(race.outcomes) == ["HO-tessellation", "annealing"]
+        assert "winner=" in race.summary()
+
+    def test_first_feasible_serial_stops_early(self, grid_jobs):
+        job = grid_jobs[0]
+        result = run_portfolio(
+            job.problem,
+            options=FAST,
+            strategies=(
+                Strategy("annealing", kind="annealing"),
+                Strategy("HO-tessellation", kind="milp", mode="HO"),
+            ),
+            policy="first_feasible",
+            executor="serial",
+        )
+        assert result.winner == "annealing"
+        # the race stopped before the MILP strategy started
+        assert "HO-tessellation" not in result.outcomes
+
+    def test_expired_deadline_marks_everything(self, grid_jobs):
+        result = run_portfolio(
+            grid_jobs[0].problem,
+            options=FAST,
+            deadline=0.0,
+            executor="serial",
+        )
+        assert result.winner is None
+        assert all(o.status == "deadline" for o in result.outcomes.values())
+
+    def test_pick_winner_prefers_fewer_wasted_frames(self):
+        from repro.service import JobResult
+
+        def fake(name, wasted, wires, feasible=True):
+            return JobResult(
+                fingerprint="",
+                job_name=name,
+                status="optimal" if feasible else "infeasible",
+                feasible=feasible,
+                objective=0.0,
+                solve_time=0.0,
+                wall_time=0.0,
+                backend="",
+                mode="O",
+                metrics={"wasted_frames": wasted, "wirelength": wires},
+            )
+
+        names = ["a", "b", "c", "d"]
+        outcomes = {
+            "a": fake("a", wasted=10, wires=1.0),
+            "b": fake("b", wasted=4, wires=9.0),
+            "c": fake("c", wasted=4, wires=2.0),
+            "d": fake("d", wasted=0, wires=0.0, feasible=False),
+        }
+        # fewest wasted frames wins; wirelength breaks the tie; infeasible
+        # results never win no matter their metrics
+        assert _pick_winner(names, outcomes, "best") == "c"
+
+    def test_deadline_returns_promptly_in_pool_mode(self, grid_jobs):
+        # the pool must not be joined on exit: a strategy that needs far
+        # longer than the deadline is abandoned, not waited for
+        from repro.utils.timing import Timer
+
+        slow = SolverOptions(time_limit=10, mip_gap=None)
+        with Timer() as timer:
+            result = run_portfolio(
+                grid_jobs[-1].problem,
+                relocation=grid_jobs[-1].relocation,
+                options=slow,
+                strategies=(Strategy("O-slow", kind="milp", mode="O"),),
+                deadline=0.2,
+                executor="thread",
+            )
+        assert timer.elapsed < 8  # not joined until the 10s solve finishes
+        outcome = result.outcomes["O-slow"]
+        assert outcome.status in ("deadline", "optimal", "feasible")
+
+    def test_crashing_annealing_strategy_is_captured(self, grid_jobs, monkeypatch):
+        import repro.baselines.annealing as annealing_mod
+
+        def boom(problem, options=None):
+            raise RuntimeError("annealer exploded")
+
+        monkeypatch.setattr(annealing_mod, "annealing_floorplan", boom)
+        result = run_portfolio(
+            grid_jobs[0].problem,
+            options=FAST,
+            strategies=(Strategy("annealing", kind="annealing"),),
+            executor="serial",
+        )
+        outcome = result.outcomes["annealing"]
+        assert outcome.status == "error"
+        assert "annealer exploded" in outcome.error
+        assert result.winner is None
+
+    def test_invalid_policy_rejected(self, grid_jobs):
+        with pytest.raises(ValueError):
+            run_portfolio(grid_jobs[0].problem, policy="median")
+
+    def test_invalid_executor_rejected(self, grid_jobs):
+        with pytest.raises(ValueError):
+            run_portfolio(grid_jobs[0].problem, executor="threads")
+
+    def test_duplicate_strategy_names_rejected(self, grid_jobs):
+        with pytest.raises(ValueError):
+            run_portfolio(
+                grid_jobs[0].problem,
+                strategies=(Strategy("x"), Strategy("x")),
+            )
+
+
+class TestTopLevelExports:
+    def test_service_surface_reexported(self):
+        import repro
+
+        for name in (
+            "SolveJob",
+            "SolveCache",
+            "BatchSolver",
+            "SweepReport",
+            "sweep_jobs",
+            "run_sweep",
+            "run_portfolio",
+        ):
+            assert name in repro.__all__ and hasattr(repro, name)
+
+    def test_runtime_and_bitstream_surface_reexported(self):
+        import repro
+
+        for name in (
+            "ReconfigurationManager",
+            "ReconfigurationError",
+            "RuntimeTrace",
+            "PartialBitstream",
+            "generate_bitstream",
+            "relocate_bitstream",
+            "ConfigurationMemory",
+        ):
+            assert name in repro.__all__ and hasattr(repro, name)
+
+    def test_deprecated_runtime_error_alias(self):
+        from repro.runtime import ReconfigurationError, RuntimeError_
+
+        assert RuntimeError_ is ReconfigurationError

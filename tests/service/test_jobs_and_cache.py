@@ -1,0 +1,175 @@
+"""Job fingerprinting and the content-addressed solve cache."""
+
+import json
+
+import pytest
+
+from repro.milp import SolverOptions
+from repro.relocation import RelocationSpec
+from repro.service import CacheStats, JobResult, SolveCache, SolveJob
+from repro.workloads.synthetic import SyntheticWorkloadConfig, config_grid, synthetic_problem
+
+
+def make_problem(seed: int = 0, num_regions: int = 3):
+    return synthetic_problem(
+        config=SyntheticWorkloadConfig(num_regions=num_regions, seed=seed)
+    )
+
+
+def make_result(fingerprint: str = "f" * 64, **overrides) -> JobResult:
+    payload = dict(
+        fingerprint=fingerprint,
+        job_name="job",
+        status="optimal",
+        feasible=True,
+        objective=1.5,
+        solve_time=0.2,
+        wall_time=0.3,
+        backend="highs",
+        mode="HO",
+        metrics={"wasted_frames": 4, "wirelength": 10.0},
+    )
+    payload.update(overrides)
+    return JobResult(**payload)
+
+
+class TestFingerprint:
+    def test_identical_content_same_fingerprint(self):
+        # two independently-built, content-identical jobs hash the same
+        a = SolveJob(make_problem(seed=3), options=SolverOptions(time_limit=10))
+        b = SolveJob(make_problem(seed=3), options=SolverOptions(time_limit=10))
+        assert a.problem is not b.problem
+        assert a.fingerprint == b.fingerprint
+
+    def test_tag_does_not_change_fingerprint(self):
+        a = SolveJob(make_problem(), tag="")
+        b = SolveJob(make_problem(), tag="retagged")
+        assert a.fingerprint == b.fingerprint
+        assert a.name != b.name
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"mode": "O"},
+            {"options": SolverOptions(time_limit=99)},
+            {"options": SolverOptions(backend="branch-bound")},
+            {"heuristic": "first-fit"},
+            {"lexicographic": True},
+            {"relocation": RelocationSpec.as_constraint({"R0": 1})},
+        ],
+    )
+    def test_any_spec_change_changes_fingerprint(self, changes):
+        base = SolveJob(make_problem())
+        variant = SolveJob(make_problem(), **changes)
+        assert base.fingerprint != variant.fingerprint
+
+    def test_different_problem_changes_fingerprint(self):
+        assert (
+            SolveJob(make_problem(seed=0)).fingerprint
+            != SolveJob(make_problem(seed=1)).fingerprint
+        )
+
+    def test_relocation_order_is_canonical(self):
+        problem = make_problem(num_regions=3)
+        forward = RelocationSpec.as_constraint({"R0": 1, "R1": 2})
+        backward = RelocationSpec.as_constraint({"R1": 2, "R0": 1})
+        assert (
+            SolveJob(problem, relocation=forward).fingerprint
+            == SolveJob(problem, relocation=backward).fingerprint
+        )
+
+    def test_problem_and_device_names_are_labels_not_content(self):
+        plain = make_problem(seed=2)
+        renamed = synthetic_problem(
+            config=SyntheticWorkloadConfig(num_regions=3, seed=2), name="other-label"
+        )
+        assert plain.name != renamed.name
+        assert SolveJob(plain).fingerprint == SolveJob(renamed).fingerprint
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SolveJob(make_problem(), mode="X")
+
+
+class TestJobResultRoundTrip:
+    def test_round_trip(self):
+        result = make_result()
+        again = JobResult.from_dict(json.loads(json.dumps(result.as_dict())))
+        assert again == result
+
+    def test_nan_objective_survives_json(self):
+        result = make_result(objective=float("nan"), feasible=False, status="error")
+        encoded = json.dumps(result.as_dict())  # must not emit bare NaN
+        again = JobResult.from_dict(json.loads(encoded))
+        assert again.objective != again.objective  # NaN
+
+    def test_metric_accessors(self):
+        assert make_result().wasted_frames == 4
+        assert make_result(metrics=None).wasted_frames is None
+        assert make_result().objective_key() < make_result(
+            metrics={"wasted_frames": 9, "wirelength": 1.0}
+        ).objective_key()
+        # infeasible sorts after any feasible result
+        assert make_result().objective_key() < make_result(
+            feasible=False, metrics=None
+        ).objective_key()
+
+
+class TestSolveCache:
+    def test_memory_round_trip(self):
+        cache = SolveCache()
+        assert cache.get("f" * 64) is None
+        cache.put(make_result())
+        hit = cache.get("f" * 64)
+        assert hit is not None and hit.status == "optimal"
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_disk_round_trip(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put(make_result())
+        assert (tmp_path / f"{'f' * 64}.json").exists()
+
+        fresh = SolveCache(tmp_path)  # new process simulation
+        hit = fresh.get("f" * 64)
+        assert hit is not None
+        assert hit.wasted_frames == 4
+        assert hit.cached is False  # the flag describes this run
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        (tmp_path / f"{'a' * 64}.json").write_text("{not json")
+        assert cache.get("a" * 64) is None
+
+    def test_schema_mismatched_entry_is_a_miss(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        # valid JSON from an incompatible (older/newer) JobResult schema
+        (tmp_path / f"{'b' * 64}.json").write_text('{"fingerprint": "x"}')
+        assert cache.get("b" * 64) is None
+
+    def test_clear_and_len(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put(make_result())
+        cache.put(make_result(fingerprint="e" * 64))
+        assert len(cache) == 2
+        assert list(cache.fingerprints()) == sorted(["e" * 64, "f" * 64])
+        cache.drop_memory()
+        assert len(cache) == 2  # still on disk
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_stats(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+
+
+class TestConfigGrid:
+    def test_grid_crosses_all_axes(self):
+        grid = config_grid(num_regions=(3, 5), utilizations=(0.4, 0.6), seeds=(0, 1, 2))
+        assert len(grid) == 12
+        assert grid[0].num_regions == 3 and grid[0].utilization == 0.4
+        assert grid[-1].num_regions == 5 and grid[-1].seed == 2
+
+    def test_common_kwargs_forwarded(self):
+        grid = config_grid(num_regions=(4,), bus_width=8.0)
+        assert grid[0].bus_width == 8.0
