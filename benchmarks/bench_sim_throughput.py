@@ -1,0 +1,126 @@
+"""Simulator throughput: simulated events per wall-clock second.
+
+Run with ``PYTHONPATH=src pytest benchmarks/bench_sim_throughput.py -q``.
+The engine is pure-python discrete-event machinery on a manually-built
+floorplan (no MILP in the loop), so the events/sec figure measures the event
+queue, the policy dispatch and the bitstream-cache path.  The floor asserted
+here is deliberately loose — the point is the printed number.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.device.catalog import simple_two_type_device
+from repro.device.resources import ResourceVector
+from repro.floorplan.geometry import Rect
+from repro.floorplan.placement import Floorplan
+from repro.floorplan.problem import FloorplanProblem, Region
+from repro.runtime import ReconfigurationManager
+from repro.sim import (
+    MMPPTraffic,
+    PoissonTraffic,
+    ReconfigureInPlace,
+    RelocateFirst,
+    ScheduledFaults,
+    SimConfig,
+    SimulationEngine,
+)
+from repro.utils.timing import Timer
+
+HORIZON = float(os.environ.get("REPRO_BENCH_SIM_HORIZON", 500.0))
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    """Two regions with one reserved free area each, built without a solver."""
+    device = simple_two_type_device()
+    regions = [
+        Region("A", ResourceVector(CLB=4)),
+        Region("B", ResourceVector(CLB=4)),
+    ]
+    problem = FloorplanProblem(device, regions, name="sim-bench")
+    return Floorplan.from_rects(
+        problem,
+        {"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 2, 2)},
+        free_rects={"A 1": (Rect(2, 0, 2, 2), "A"), "B 1": (Rect(8, 0, 2, 2), "B")},
+    )
+
+
+def _throughput(result, elapsed: float) -> float:
+    return result.events_processed / max(elapsed, 1e-9)
+
+
+def test_poisson_event_throughput(floorplan):
+    """Events/sec under steady Poisson load with the in-place policy."""
+    engine = SimulationEngine(
+        ReconfigurationManager(floorplan),
+        traffic=PoissonTraffic(["A", "B"], rate=10.0, seed=0),
+        policy=ReconfigureInPlace(),
+        config=SimConfig(horizon=HORIZON, seconds_per_frame=1e-4),
+    )
+    with Timer() as timer:
+        result = engine.run()
+    rate = _throughput(result, timer.elapsed)
+    print(
+        f"\npoisson: {result.events_processed} events in {timer.elapsed:.2f}s "
+        f"({rate:,.0f} events/s, {len(result.stats)} requests)"
+    )
+    assert result.events_processed >= 2 * 0.8 * 10.0 * HORIZON
+    # every event re-verifies bitstream CRCs and writes frames into the
+    # simulated configuration memory, so the floor is deliberately modest
+    assert rate > 100, "DES should clear 100 simulated events/s even on slow boxes"
+
+
+def test_bursty_relocation_throughput(floorplan):
+    """Events/sec under bursty MMPP load with faults and relocate-first."""
+    engine = SimulationEngine(
+        ReconfigurationManager(floorplan),
+        traffic=MMPPTraffic(
+            ["A", "B"], rates=(2.0, 40.0), mean_sojourns=(20.0, 4.0), seed=1
+        ),
+        policy=RelocateFirst(),
+        faults=ScheduledFaults([(HORIZON / 4, "A"), (HORIZON / 2, "B")]),
+        config=SimConfig(horizon=HORIZON, seconds_per_frame=1e-4),
+    )
+    with Timer() as timer:
+        result = engine.run()
+    rate = _throughput(result, timer.elapsed)
+    print(
+        f"\nmmpp+faults: {result.events_processed} events in {timer.elapsed:.2f}s "
+        f"({rate:,.0f} events/s, blocking={result.stats.blocking_probability:.3f})"
+    )
+    assert result.trace_summary()["fault"] == 2
+    assert rate > 50
+
+
+def test_cache_capacity_sweep(floorplan):
+    """Hit rate and throughput across bitstream-cache capacities."""
+    print()
+    by_capacity = {}
+    for capacity in (2, 8, 64):
+        engine = SimulationEngine(
+            ReconfigurationManager(floorplan, cache_capacity=capacity),
+            traffic=PoissonTraffic(["A", "B"], rate=10.0, seed=2),
+            policy=ReconfigureInPlace(),
+            config=SimConfig(horizon=HORIZON / 4, seconds_per_frame=1e-4),
+        )
+        with Timer() as timer:
+            result = engine.run()
+        stats = result.manager.cache_stats()
+        by_capacity[capacity] = stats
+        total = stats["hits"] + stats["misses"]
+        hit_rate = stats["hits"] / total if total else 0.0
+        print(
+            f"capacity {capacity:3d}: {hit_rate:6.1%} hit rate, "
+            f"{stats['evictions']} evictions, "
+            f"{_throughput(result, timer.elapsed):,.0f} events/s"
+        )
+    # 6 distinct (region, mode) bitstreams exist: capacity 2 must thrash,
+    # capacities 8 and 64 fit the whole working set
+    assert by_capacity[2]["evictions"] > 0
+    assert by_capacity[8]["evictions"] == 0
+    assert by_capacity[64]["evictions"] == 0
+    assert by_capacity[8]["hits"] > by_capacity[2]["hits"]

@@ -18,7 +18,10 @@ The public API re-exported here is the surface a downstream user needs:
   generators;
 * analysis (:mod:`repro.analysis`): ASCII floorplan rendering and tables;
 * batch service (:mod:`repro.service`): content-addressed solve caching,
-  parallel batch execution, portfolio racing and scenario sweeps.
+  parallel batch execution, portfolio racing and scenario sweeps;
+* online simulation (:mod:`repro.sim`): discrete-event simulation of the
+  runtime under stochastic traffic, fault injection and live
+  re-floorplanning policies.
 
 Quickstart::
 
@@ -106,6 +109,20 @@ from repro.service import (
     run_sweep,
     sweep_jobs,
 )
+from repro.sim import (
+    InhomogeneousPoissonTraffic,
+    MMPPTraffic,
+    PoissonTraffic,
+    RandomFaults,
+    ReconfigureInPlace,
+    RelocateFirst,
+    ResolveViaService,
+    ScheduledFaults,
+    SimConfig,
+    SimulationEngine,
+    TraceReplayTraffic,
+    sinusoidal_rate,
+)
 
 __version__ = "1.0.0"
 
@@ -181,4 +198,17 @@ __all__ = [
     "sweep_jobs",
     "run_sweep",
     "run_portfolio",
+    # online simulation
+    "SimulationEngine",
+    "SimConfig",
+    "PoissonTraffic",
+    "InhomogeneousPoissonTraffic",
+    "sinusoidal_rate",
+    "MMPPTraffic",
+    "TraceReplayTraffic",
+    "ScheduledFaults",
+    "RandomFaults",
+    "ReconfigureInPlace",
+    "RelocateFirst",
+    "ResolveViaService",
 ]

@@ -2,8 +2,12 @@
 
 from repro.analysis.render import render_device, render_floorplan, render_partition
 from repro.analysis.report import (
+    SIM_LATENCY_HEADERS,
+    SIM_UTILIZATION_HEADERS,
     SWEEP_HEADERS,
     format_table,
+    sim_latency_rows,
+    sim_utilization_rows,
     sweep_table_rows,
     table1_rows,
     table2_rows,
@@ -18,4 +22,8 @@ __all__ = [
     "table2_rows",
     "sweep_table_rows",
     "SWEEP_HEADERS",
+    "sim_latency_rows",
+    "SIM_LATENCY_HEADERS",
+    "sim_utilization_rows",
+    "SIM_UTILIZATION_HEADERS",
 ]

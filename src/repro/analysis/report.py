@@ -127,6 +127,63 @@ def sweep_table_rows(results: Sequence[object]) -> List[List[object]]:
     return rows
 
 
+SIM_LATENCY_HEADERS = ["Metric", "Count", "Mean", "P50", "P90", "P99", "Max"]
+
+
+def sim_latency_rows(
+    summaries: Mapping[str, Mapping[str, float]],
+) -> List[List[object]]:
+    """Percentile rows for the online simulator's latency table.
+
+    ``summaries`` maps a metric name (latency/wait/service) to the summary
+    dict produced by :meth:`repro.sim.stats.SimStats.latency_summary`;
+    metrics with no samples render as dashes, mirroring :func:`table2_rows`.
+    """
+    rows: List[List[object]] = []
+    for metric, summary in summaries.items():
+        count = int(summary.get("count", 0))
+        if count == 0:
+            rows.append([metric, 0, "-", "-", "-", "-", "-"])
+            continue
+        rows.append(
+            [
+                metric,
+                count,
+                f"{summary['mean']:.6f}",
+                f"{summary['p50']:.6f}",
+                f"{summary['p90']:.6f}",
+                f"{summary['p99']:.6f}",
+                f"{summary['max']:.6f}",
+            ]
+        )
+    return rows
+
+
+SIM_UTILIZATION_HEADERS = ["Resource", "Busy (s)", "Utilization", "Served", "Blocked"]
+
+
+def sim_utilization_rows(
+    entries: Mapping[str, Mapping[str, object]],
+) -> List[List[object]]:
+    """Utilization rows (ports and regions) for the online simulator.
+
+    ``entries`` maps a resource label to ``{busy, utilization, served,
+    blocked}`` as produced by :meth:`repro.sim.stats.SimStats.utilization_rows`.
+    """
+    rows: List[List[object]] = []
+    for resource, entry in entries.items():
+        rows.append(
+            [
+                resource,
+                f"{float(entry['busy']):.6f}",
+                f"{float(entry['utilization']):.4f}",
+                int(entry["served"]),
+                int(entry["blocked"]),
+            ]
+        )
+    return rows
+
+
 def floorplan_report(floorplan: Floorplan) -> Dict[str, object]:
     """A flat dictionary describing a solved floorplan (for EXPERIMENTS.md)."""
     metrics = evaluate_floorplan(floorplan)

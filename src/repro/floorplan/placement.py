@@ -170,6 +170,35 @@ class Floorplan:
             "free_areas": {name: encode(p) for name, p in self.free_areas.items()},
         }
 
+    @classmethod
+    def from_dict(
+        cls, problem: FloorplanProblem, data: Mapping[str, object]
+    ) -> "Floorplan":
+        """Inverse of :meth:`to_dict` (the problem object is supplied, not
+        deserialized — the encoding only stores its name)."""
+
+        def decode(name: str, encoded: Mapping[str, object]) -> RegionPlacement:
+            return RegionPlacement(
+                name=name,
+                rect=Rect(
+                    encoded["col"], encoded["row"], encoded["width"], encoded["height"]
+                ),
+                compatible_with=encoded.get("compatible_with"),
+                satisfied=encoded.get("satisfied", True),
+            )
+
+        floorplan = cls(
+            problem=problem,
+            objective=data.get("objective", float("nan")),
+            solve_time=data.get("solve_time", 0.0),
+            solver_status=data.get("solver_status", ""),
+        )
+        for name, encoded in data.get("placements", {}).items():
+            floorplan.placements[name] = decode(name, encoded)
+        for name, encoded in data.get("free_areas", {}).items():
+            floorplan.free_areas[name] = decode(name, encoded)
+        return floorplan
+
     @staticmethod
     def from_rects(
         problem: FloorplanProblem,

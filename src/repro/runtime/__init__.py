@@ -7,25 +7,46 @@ run-time reconfiguration.  This package makes that motivation executable: a
 free-compatible areas), loads module modes through the simulated
 configuration memory and serves relocation requests by retargeting bitstreams
 with the relocation filter.  :mod:`~repro.runtime.scheduler` generates mode
-activation schedules and :mod:`~repro.runtime.trace` records what happened so
-the benchmarks can report reconfiguration counts and moved frame volumes.
+activation schedules (optionally timed, via per-step dwell times) and
+:mod:`~repro.runtime.trace` records what happened so the benchmarks can
+report reconfiguration counts and moved frame volumes.  The online
+discrete-event simulator (:mod:`repro.sim`) layers stochastic traffic, fault
+injection and decision policies on top of this package.
 """
 
+import warnings
+
 from repro.runtime.manager import (
+    BitstreamCache,
     ReconfigurationError,
     ReconfigurationManager,
-    RuntimeError_,
 )
-from repro.runtime.scheduler import ModeSchedule, round_robin_schedule
+from repro.runtime.scheduler import ModeSchedule, random_schedule, round_robin_schedule
 from repro.runtime.trace import EventKind, RuntimeTrace, TraceEvent
 
+# NOTE: the deprecated RuntimeError_ alias is intentionally NOT in __all__ —
+# a star import would otherwise trigger its DeprecationWarning for everyone.
+# Explicit `from repro.runtime import RuntimeError_` still resolves (and warns)
+# through the module __getattr__ below.
 __all__ = [
     "ReconfigurationManager",
     "ReconfigurationError",
-    "RuntimeError_",  # deprecated alias of ReconfigurationError
+    "BitstreamCache",
     "ModeSchedule",
     "round_robin_schedule",
+    "random_schedule",
     "RuntimeTrace",
     "TraceEvent",
     "EventKind",
 ]
+
+
+def __getattr__(name: str):
+    if name == "RuntimeError_":
+        warnings.warn(
+            "RuntimeError_ is deprecated; use ReconfigurationError instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ReconfigurationError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,6 +4,12 @@ The SDR design configures, for each module, one of several mutually exclusive
 modes at a time (Section VI).  A :class:`ModeSchedule` is simply the sequence
 of (region, mode) activations a system goes through; the generator below
 produces reproducible synthetic schedules for the run-time benchmarks.
+
+Schedules may optionally carry per-step *dwell times* — how long the system
+stays in a step's mode before the next activation fires.  Untimed schedules
+(the default, dwell 0 everywhere) behave exactly as before; timed ones
+convert losslessly into the simulator's trace-replay traffic via
+:meth:`ModeSchedule.timed_steps`.
 """
 
 from __future__ import annotations
@@ -23,9 +29,24 @@ class ModeSchedule:
     steps:
         Ordered list of ``(region, mode)`` pairs; at each step the given
         region must be reconfigured to run the given mode.
+    dwells:
+        Optional per-step dwell times (seconds spent in the step's mode
+        before the next activation).  Empty means "untimed": every dwell is
+        0 and the schedule is a pure ordering, as in the original replays.
+        When non-empty it must have one non-negative entry per step.
     """
 
     steps: Tuple[Tuple[str, str], ...]
+    dwells: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.dwells:
+            if len(self.dwells) != len(self.steps):
+                raise ValueError(
+                    f"dwells must match steps: {len(self.dwells)} != {len(self.steps)}"
+                )
+            if any(dwell < 0 for dwell in self.dwells):
+                raise ValueError("dwell times must be non-negative")
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -47,6 +68,36 @@ class ModeSchedule:
             counts[region] = counts.get(region, 0) + 1
         return counts
 
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def dwell_at(self, index: int) -> float:
+        """Dwell time of step ``index`` (0 for untimed schedules)."""
+        return self.dwells[index] if self.dwells else 0.0
+
+    @property
+    def duration(self) -> float:
+        """Total dwell time of the schedule (0 when untimed)."""
+        return float(sum(self.dwells)) if self.dwells else 0.0
+
+    def with_dwells(self, dwells: Sequence[float]) -> "ModeSchedule":
+        """A timed copy of this schedule with the given per-step dwells."""
+        return ModeSchedule(steps=self.steps, dwells=tuple(float(d) for d in dwells))
+
+    def timed_steps(self) -> List[Tuple[float, str, str]]:
+        """``(time, region, mode)`` triples with cumulative activation times.
+
+        Step ``i`` fires after the dwells of all preceding steps, so an
+        untimed schedule becomes a burst of activations at ``t=0`` in the
+        original order — the lossless conversion the simulator replays.
+        """
+        timed: List[Tuple[float, str, str]] = []
+        now = 0.0
+        for index, (region, mode) in enumerate(self.steps):
+            timed.append((now, region, mode))
+            now += self.dwell_at(index)
+        return timed
+
 
 def round_robin_schedule(
     regions: Sequence[str],
@@ -67,14 +118,25 @@ def random_schedule(
     length: int,
     modes_per_region: int = 3,
     seed: int = 0,
+    dwell_mean: float = 0.0,
 ) -> ModeSchedule:
-    """A random activation sequence (seeded, reproducible)."""
+    """A random activation sequence (seeded, reproducible).
+
+    ``dwell_mean > 0`` additionally draws exponential per-step dwell times
+    with that mean, producing a timed schedule; the default keeps the
+    original untimed behavior (and byte-identical schedules for old seeds).
+    """
     if not regions:
         raise ValueError("need at least one region to schedule")
+    if dwell_mean < 0:
+        raise ValueError("dwell_mean must be non-negative")
     rng = np.random.default_rng(seed)
     steps: List[Tuple[str, str]] = []
     for _ in range(length):
         region = regions[int(rng.integers(len(regions)))]
         mode = f"mode{int(rng.integers(modes_per_region)) + 1}"
         steps.append((region, mode))
-    return ModeSchedule(steps=tuple(steps))
+    dwells: Tuple[float, ...] = ()
+    if dwell_mean > 0:
+        dwells = tuple(float(d) for d in rng.exponential(dwell_mean, size=length))
+    return ModeSchedule(steps=tuple(steps), dwells=dwells)

@@ -15,11 +15,16 @@ class EventKind(enum.Enum):
     RELOCATE = "relocate"
     UNLOAD = "unload"
     REJECT = "reject"
+    FAULT = "fault"
 
 
 @dataclasses.dataclass(frozen=True)
 class TraceEvent:
-    """One recorded run-time event."""
+    """One recorded run-time event.
+
+    ``time`` is the virtual timestamp of the event when the manager is driven
+    by a simulation clock (see :mod:`repro.sim`); untimed replays leave it 0.
+    """
 
     step: int
     kind: EventKind
@@ -28,6 +33,7 @@ class TraceEvent:
     frames: int = 0
     target: Optional[str] = None
     detail: str = ""
+    time: float = 0.0
 
 
 class RuntimeTrace:

@@ -1,0 +1,98 @@
+"""Discrete-event online reconfiguration simulation.
+
+This package turns the :mod:`repro.runtime` layer into a measurable online
+system: stochastic traffic (:mod:`~repro.sim.traffic`) emits timed
+mode-activation requests per region, a fault plan (:mod:`~repro.sim.faults`)
+breaks fabric under live modules, a decision policy
+(:mod:`~repro.sim.policies`) serves each request — reconfigure in place,
+relocate into floorplanner-reserved free areas, or re-floorplan live through
+the :mod:`repro.service` portfolio — and the engine
+(:mod:`~repro.sim.engine`) plays everything on seeded virtual time with
+reconfiguration-port contention and per-region busy periods.  Statistics
+(:mod:`~repro.sim.stats`) aggregate into the latency/utilization tables of
+:mod:`repro.analysis`.
+
+Quickstart::
+
+    from repro.sim import (
+        PoissonTraffic, ScheduledFaults, RelocateFirst,
+        SimulationEngine, SimConfig,
+    )
+
+    engine = SimulationEngine(
+        manager,
+        traffic=PoissonTraffic(regions, rate=5.0, seed=7),
+        policy=RelocateFirst(),
+        faults=ScheduledFaults([(2.0, "beta")]),
+        config=SimConfig(horizon=60.0),
+    )
+    result = engine.run()
+    print(result.format_report())
+"""
+
+from repro.sim.clock import SimTimeError, VirtualClock
+from repro.sim.engine import SimConfig, SimResult, SimulationEngine
+from repro.sim.events import EventQueue, SimEvent, SimEventKind
+from repro.sim.faults import (
+    FaultEvent,
+    FaultPlan,
+    RandomFaults,
+    ScheduledFaults,
+    fault_masked_problem,
+)
+from repro.sim.policies import (
+    Policy,
+    PolicyOutcome,
+    ReconfigureInPlace,
+    RelocateFirst,
+    ResolveViaService,
+    placement_fault_masked,
+)
+from repro.sim.stats import RequestRecord, SimStats, histogram, percentile
+from repro.sim.traffic import (
+    InhomogeneousPoissonTraffic,
+    MMPPTraffic,
+    ModeRequest,
+    PoissonTraffic,
+    TraceReplayTraffic,
+    TrafficModel,
+    sinusoidal_rate,
+)
+
+__all__ = [
+    # clock / events
+    "VirtualClock",
+    "SimTimeError",
+    "EventQueue",
+    "SimEvent",
+    "SimEventKind",
+    # traffic
+    "TrafficModel",
+    "ModeRequest",
+    "PoissonTraffic",
+    "InhomogeneousPoissonTraffic",
+    "MMPPTraffic",
+    "TraceReplayTraffic",
+    "sinusoidal_rate",
+    # faults
+    "FaultPlan",
+    "FaultEvent",
+    "ScheduledFaults",
+    "RandomFaults",
+    "fault_masked_problem",
+    # policies
+    "Policy",
+    "PolicyOutcome",
+    "ReconfigureInPlace",
+    "RelocateFirst",
+    "ResolveViaService",
+    "placement_fault_masked",
+    # engine / stats
+    "SimulationEngine",
+    "SimConfig",
+    "SimResult",
+    "SimStats",
+    "RequestRecord",
+    "percentile",
+    "histogram",
+]

@@ -1,0 +1,41 @@
+"""Virtual time.
+
+The simulator never sleeps: time is a number advanced from event to event.
+:class:`VirtualClock` enforces monotonicity (an event queue bug that would
+move time backwards raises instead of silently corrupting statistics) and is
+callable so it plugs straight into
+:class:`~repro.runtime.manager.ReconfigurationManager`'s ``clock`` hook.
+"""
+
+from __future__ import annotations
+
+
+class SimTimeError(RuntimeError):
+    """Raised when virtual time would move backwards."""
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> float:
+        """Advance to ``time`` (no-op when already there); returns the time."""
+        if time < self._now - 1e-12:
+            raise SimTimeError(
+                f"cannot advance virtual time backwards: {time} < {self._now}"
+            )
+        self._now = max(self._now, float(time))
+        return self._now
+
+    def __call__(self) -> float:
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now:.6f})"

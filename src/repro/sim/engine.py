@@ -1,0 +1,271 @@
+"""The discrete-event online reconfiguration simulator.
+
+The engine binds an arrival process (:mod:`repro.sim.traffic`), a fault plan
+(:mod:`repro.sim.faults`) and a decision policy (:mod:`repro.sim.policies`)
+to a live :class:`~repro.runtime.manager.ReconfigurationManager` and plays
+the whole scenario on virtual time:
+
+* requests queue for a bounded number of **reconfiguration ports** (one, on
+  most real devices — the ICAP is a serial resource) and for their target
+  region (a region mid-reconfiguration cannot accept the next mode yet);
+* service time is the written frame volume times ``seconds_per_frame`` plus
+  any policy surcharge (a live re-floorplan's solver budget);
+* faults strike the rectangle a region occupies *at the fault's virtual
+  time*, so modules that relocated away are hit at their current home;
+* every request's arrival/start/finish lands in :class:`~repro.sim.stats.SimStats`.
+
+Determinism: the event queue breaks ties deterministically, all randomness
+is seeded inside the traffic/fault generators, and policies run solvers in
+serial mode — two runs of the same scenario produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.runtime.manager import ReconfigurationError, ReconfigurationManager
+from repro.runtime.trace import RuntimeTrace
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue, SimEventKind
+from repro.sim.faults import FaultPlan
+from repro.sim.policies import Policy, PolicyOutcome
+from repro.sim.stats import RequestRecord, SimStats
+from repro.sim.traffic import ModeRequest, TrafficModel
+
+
+@dataclasses.dataclass
+class SimConfig:
+    """Knobs of one simulation run.
+
+    Attributes
+    ----------
+    horizon:
+        Virtual seconds of traffic to generate; in-flight work drains past it.
+    seconds_per_frame:
+        Port service time per configuration frame written.
+    num_ports:
+        Parallel reconfiguration ports (1 models the single ICAP).
+    queue_capacity:
+        Maximum queued (not yet started) requests; arrivals past it are
+        dropped and counted as blocked.  ``None`` means unbounded.
+    """
+
+    horizon: float = 100.0
+    seconds_per_frame: float = 1e-4
+    num_ports: int = 1
+    queue_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.seconds_per_frame <= 0:
+            raise ValueError("seconds_per_frame must be positive")
+        if self.num_ports <= 0:
+            raise ValueError("num_ports must be positive")
+        if self.queue_capacity is not None and self.queue_capacity < 0:
+            raise ValueError("queue_capacity must be non-negative")
+
+
+@dataclasses.dataclass
+class _Pending:
+    """A request in flight through the engine."""
+
+    request_id: int
+    request: ModeRequest
+    arrival: float
+    start: float = 0.0
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Everything one simulation run produced."""
+
+    stats: SimStats
+    config: SimConfig
+    makespan: float
+    events_processed: int
+    manager: ReconfigurationManager
+    traces: List[RuntimeTrace]
+    refloorplans: int = 0
+
+    def trace_summary(self) -> Dict[str, int]:
+        """Merged run-time trace counters across manager generations."""
+        merged: Dict[str, int] = {}
+        for trace in self.traces:
+            for key, value in trace.summary().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def format_report(self) -> str:
+        """The full textual report (deterministic for seeded scenarios)."""
+        lines = [
+            f"simulated {len(self.stats)} requests over {self.makespan:.6f}s "
+            f"({self.events_processed} events, {self.refloorplans} re-floorplans)",
+            f"actions: {self.stats.actions()}",
+            f"blocking probability: {self.stats.blocking_probability:.4f}",
+            f"bitstream cache: {self.manager.cache_stats()}",
+            f"trace: {self.trace_summary()}",
+            "",
+            self.stats.format_latency(),
+            "",
+            self.stats.format_utilization(self.config.num_ports, self.makespan),
+        ]
+        return "\n".join(lines)
+
+
+class SimulationEngine:
+    """Runs one online-reconfiguration scenario end to end."""
+
+    def __init__(
+        self,
+        manager: ReconfigurationManager,
+        traffic: TrafficModel,
+        policy: Policy,
+        faults: Optional[FaultPlan] = None,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.manager = manager
+        self.traffic = traffic
+        self.policy = policy
+        self.faults = faults
+        self.config = config or SimConfig()
+        self.clock = VirtualClock()
+        self.stats = SimStats()
+        self._queue = EventQueue()
+        self._waiting: List[_Pending] = []
+        self._free_ports = self.config.num_ports
+        self._busy_regions: set = set()
+        self._resolving = False  # a manager swap stalls every port until done
+        self._traces: List[RuntimeTrace] = []
+        self._refloorplans = 0
+        self._events_processed = 0
+        manager.clock = self.clock
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Generate the scenario, play every event, return the result."""
+        for index, request in enumerate(self.traffic.generate(self.config.horizon)):
+            self._queue.push(
+                request.time,
+                SimEventKind.ARRIVAL,
+                _Pending(request_id=index, request=request, arrival=request.time),
+            )
+        if self.faults is not None:
+            for fault in self.faults.events(self.config.horizon):
+                self._queue.push(fault.time, SimEventKind.FAULT, fault)
+
+        while self._queue:
+            event = self._queue.pop()
+            self.clock.advance_to(event.time)
+            self._events_processed += 1
+            if event.kind is SimEventKind.ARRIVAL:
+                self._on_arrival(event.payload)
+            elif event.kind is SimEventKind.FAULT:
+                self._on_fault(event.payload)
+            else:
+                self._on_complete(event.payload)
+
+        self._traces.append(self.manager.trace)
+        return SimResult(
+            stats=self.stats,
+            config=self.config,
+            makespan=self.clock.now,
+            events_processed=self._events_processed,
+            manager=self.manager,
+            traces=self._traces,
+            refloorplans=self._refloorplans,
+        )
+
+    # ------------------------------------------------------------------
+    def _on_arrival(self, pending: _Pending) -> None:
+        if self._can_start(pending):
+            self._start(pending)
+            return
+        if (
+            self.config.queue_capacity is not None
+            and len(self._waiting) >= self.config.queue_capacity
+        ):
+            self.stats.record_rejected_arrival()
+            return
+        self._waiting.append(pending)
+
+    def _on_fault(self, fault) -> None:
+        try:
+            rect = self.manager.current_location(fault.region)
+        except ReconfigurationError:
+            # the plan names a region this floorplan doesn't have: nothing
+            # to break, and nothing is recorded — stats reflect only faults
+            # that actually landed on the fabric
+            return
+        self.manager.inject_fault(rect, detail=fault.detail)
+        self.stats.record_fault(self.clock.now)
+
+    def _on_complete(self, payload) -> None:
+        pending, outcome = payload
+        self._free_ports += 1
+        self._busy_regions.discard(pending.request.region)
+        if outcome.new_manager is not None:
+            self._resolving = False  # the re-floorplan is installed; resume
+        self.stats.record(
+            RequestRecord(
+                request_id=pending.request_id,
+                region=pending.request.region,
+                mode=pending.request.mode,
+                arrival=pending.arrival,
+                start=pending.start,
+                finish=self.clock.now,
+                action=outcome.action,
+                frames=outcome.frames,
+                ok=outcome.ok,
+                detail=outcome.detail,
+            )
+        )
+        self._start_waiting()
+
+    # ------------------------------------------------------------------
+    def _can_start(self, pending: _Pending) -> bool:
+        return (
+            not self._resolving
+            and self._free_ports > 0
+            and pending.request.region not in self._busy_regions
+        )
+
+    def _start_waiting(self) -> None:
+        """Admit queued requests FIFO, skipping ones whose region is busy."""
+        progressed = True
+        while progressed and self._free_ports > 0 and not self._resolving:
+            progressed = False
+            for index, pending in enumerate(self._waiting):
+                if pending.request.region not in self._busy_regions:
+                    del self._waiting[index]
+                    self._start(pending)
+                    progressed = True
+                    break
+
+    def _start(self, pending: _Pending) -> None:
+        self._free_ports -= 1
+        self._busy_regions.add(pending.request.region)
+        pending.start = self.clock.now
+        outcome = self.policy.apply(self.manager, pending.request)
+        if outcome.new_manager is not None:
+            self._adopt(outcome)
+        service = (
+            outcome.frames * self.config.seconds_per_frame + outcome.extra_time
+        )
+        self._queue.push(
+            self.clock.now + service, SimEventKind.COMPLETE, (pending, outcome)
+        )
+
+    def _adopt(self, outcome: PolicyOutcome) -> None:
+        """Swap in the re-floorplanned manager, keeping the old trace.
+
+        Until the swap's COMPLETE event fires, every port is stalled: the
+        whole configuration path is being replaced, so no other region may
+        reconfigure concurrently (see :class:`PolicyOutcome.extra_time`).
+        """
+        self._traces.append(self.manager.trace)
+        self.manager = outcome.new_manager
+        self.manager.clock = self.clock
+        self._resolving = True
+        self._refloorplans += 1

@@ -1,0 +1,74 @@
+"""The deterministic priority event queue.
+
+Events are ordered by ``(time, kind priority, insertion sequence)``.  The
+kind priority makes same-instant behavior well defined — completions free
+resources before faults land, faults land before new arrivals are admitted —
+and the insertion sequence breaks the remaining ties FIFO, so two runs with
+the same seeds pop events in exactly the same order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+from typing import List, Optional
+
+
+class SimEventKind(enum.Enum):
+    """Kinds of simulator events, in same-instant processing order."""
+
+    COMPLETE = "complete"
+    FAULT = "fault"
+    ARRIVAL = "arrival"
+
+
+#: Same-instant processing order (lower pops first).
+_PRIORITY = {
+    SimEventKind.COMPLETE: 0,
+    SimEventKind.FAULT: 1,
+    SimEventKind.ARRIVAL: 2,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SimEvent:
+    """One scheduled simulator event."""
+
+    time: float
+    kind: SimEventKind
+    seq: int
+    payload: object = None
+
+
+class EventQueue:
+    """A heap of :class:`SimEvent` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: SimEventKind, payload: object = None) -> SimEvent:
+        """Schedule an event; returns the stored record."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = SimEvent(time=float(time), kind=kind, seq=self._seq, payload=payload)
+        heapq.heappush(self._heap, (event.time, _PRIORITY[kind], event.seq, event))
+        self._seq += 1
+        return event
+
+    def pop(self) -> SimEvent:
+        """Remove and return the next event (earliest time wins)."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[-1]
+
+    def peek(self) -> Optional[SimEvent]:
+        """The next event without removing it (``None`` when empty)."""
+        return self._heap[0][-1] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

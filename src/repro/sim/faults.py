@@ -1,0 +1,140 @@
+"""Fault injection plans.
+
+A fault masks the rectangle currently hosting a region's module as broken
+fabric (see :meth:`~repro.runtime.manager.ReconfigurationManager.inject_fault`):
+the next load touching that rectangle is rejected, which forces the decision
+policy to relocate the module into a floorplanner-reserved free area or to
+re-floorplan live.  Plans only *schedule* faults — the engine resolves the
+region's rectangle at the fault's virtual time, so a module that already
+relocated away is hit at its current location, not its home.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import re
+from typing import List, Sequence, Tuple
+
+from repro.device.grid import FPGADevice, ForbiddenRect
+from repro.floorplan.geometry import Rect
+from repro.floorplan.problem import FloorplanProblem
+from repro.utils.rng import make_rng
+
+
+_FAULT_NAME = re.compile(r"^fault\d+$")
+_MASK_SUFFIX = re.compile(r"\+\d+faults$")
+
+
+def fault_masked_problem(
+    problem: FloorplanProblem, faults: Sequence[Rect]
+) -> FloorplanProblem:
+    """The same floorplanning instance on a device with faults forbidden.
+
+    Each faulty rectangle becomes a :class:`ForbiddenRect`, so a re-solve
+    places regions and free-compatible areas only on healthy fabric — this is
+    what makes the :class:`~repro.sim.policies.ResolveViaService` escalation
+    route around faults instead of re-deriving the same broken placement.
+
+    The function is idempotent across successive escalations: faults already
+    present as ``faultN`` rects on the device are not re-added, names stay
+    unique, and the ``+Nfaults`` name suffix reflects the fault total rather
+    than compounding (``dev+2faults``, never ``dev+1faults+1faults``).
+    """
+    device = problem.device
+    existing_fault_rects = {
+        (rect.col, rect.row, rect.width, rect.height)
+        for rect in device.forbidden
+        if _FAULT_NAME.match(rect.name)
+    }
+    fresh = [
+        rect
+        for rect in faults
+        if (rect.col, rect.row, rect.width, rect.height) not in existing_fault_rects
+    ]
+    if not fresh:
+        return problem
+    grid = [
+        [device.tile_type_at(col, row) for row in range(device.height)]
+        for col in range(device.width)
+    ]
+    forbidden = list(device.forbidden) + [
+        ForbiddenRect(
+            name=f"fault{len(existing_fault_rects) + index}",
+            col=rect.col,
+            row=rect.row,
+            width=rect.width,
+            height=rect.height,
+        )
+        for index, rect in enumerate(fresh)
+    ]
+    base_name = _MASK_SUFFIX.sub("", device.name)
+    total_faults = len(existing_fault_rects) + len(fresh)
+    masked_device = FPGADevice(
+        f"{base_name}+{total_faults}faults", grid, forbidden=forbidden
+    )
+    base_problem = _MASK_SUFFIX.sub("", problem.name.removesuffix("+faultmask"))
+    return FloorplanProblem(
+        device=masked_device,
+        regions=problem.regions,
+        connections=problem.connections,
+        pins=problem.pins,
+        name=f"{base_problem}+faultmask",
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: the fabric under ``region`` breaks at ``time``."""
+
+    time: float
+    region: str
+    detail: str = ""
+
+
+class FaultPlan(abc.ABC):
+    """Base class of fault injection plans."""
+
+    @abc.abstractmethod
+    def events(self, horizon: float) -> List[FaultEvent]:
+        """All faults with ``time < horizon``, in non-decreasing time order."""
+
+
+class ScheduledFaults(FaultPlan):
+    """A fixed, fully deterministic list of ``(time, region)`` faults."""
+
+    def __init__(self, faults: Sequence[Tuple[float, str]]) -> None:
+        self.faults = tuple(
+            FaultEvent(time=float(time), region=region, detail="scheduled fault")
+            for time, region in sorted(faults)
+        )
+        if any(fault.time < 0 for fault in self.faults):
+            raise ValueError("fault times must be non-negative")
+
+    def events(self, horizon: float) -> List[FaultEvent]:
+        return [fault for fault in self.faults if fault.time < horizon]
+
+
+class RandomFaults(FaultPlan):
+    """Poisson fault arrivals striking a uniformly-chosen region."""
+
+    def __init__(self, regions: Sequence[str], rate: float, seed: int = 0) -> None:
+        if not regions:
+            raise ValueError("need at least one region to fault")
+        if rate <= 0:
+            raise ValueError(f"fault rate must be positive, got {rate}")
+        self.regions = list(regions)
+        self.rate = float(rate)
+        self.seed = seed
+
+    def events(self, horizon: float) -> List[FaultEvent]:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        rng = make_rng(self.seed)
+        faults: List[FaultEvent] = []
+        time = float(rng.exponential(1.0 / self.rate))
+        while time < horizon:
+            region = self.regions[int(rng.integers(len(self.regions)))]
+            faults.append(FaultEvent(time=time, region=region, detail="random fault"))
+            time += float(rng.exponential(1.0 / self.rate))
+        return faults

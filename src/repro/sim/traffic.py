@@ -1,0 +1,232 @@
+"""Stochastic arrival processes emitting timed mode-activation requests.
+
+Four generator families cover the scenarios the online benchmarks need:
+
+* :class:`PoissonTraffic` — homogeneous Poisson arrivals (exponential
+  inter-arrival gaps at a constant rate);
+* :class:`InhomogeneousPoissonTraffic` — time-varying rate λ(t) simulated by
+  Lewis–Shedler thinning, in the spirit of the IPPP package's inhomogeneous
+  Poisson point process simulators (PAPERS.md);
+* :class:`MMPPTraffic` — a two-state Markov-modulated Poisson process for
+  bursty traffic (quiet/burst phases with exponential sojourns);
+* :class:`TraceReplayTraffic` — deterministic replay of a (possibly timed)
+  :class:`~repro.runtime.scheduler.ModeSchedule`.
+
+Every generator is seeded through :func:`repro.utils.rng.make_rng`, so a
+``generate(horizon)`` call is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+from typing import Callable, List, Sequence
+
+from repro.runtime.scheduler import ModeSchedule
+from repro.utils.rng import make_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class ModeRequest:
+    """One timed request: reconfigure ``region`` to ``mode`` at ``time``."""
+
+    time: float
+    region: str
+    mode: str
+
+
+class TrafficModel(abc.ABC):
+    """Base class of arrival generators."""
+
+    @abc.abstractmethod
+    def generate(self, horizon: float) -> List[ModeRequest]:
+        """All requests with ``time < horizon``, in non-decreasing time order."""
+
+    @staticmethod
+    def _check_horizon(horizon: float) -> float:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        return float(horizon)
+
+
+class _RandomModeMixin:
+    """Uniform region/mode picking shared by the stochastic generators."""
+
+    regions: Sequence[str]
+    modes_per_region: int
+
+    def _check_population(self) -> None:
+        if not self.regions:
+            raise ValueError("need at least one region to generate traffic")
+        if self.modes_per_region <= 0:
+            raise ValueError("modes_per_region must be positive")
+
+    def _pick(self, rng, time: float) -> ModeRequest:
+        region = self.regions[int(rng.integers(len(self.regions)))]
+        mode = f"mode{int(rng.integers(self.modes_per_region)) + 1}"
+        return ModeRequest(time=time, region=region, mode=mode)
+
+
+class PoissonTraffic(_RandomModeMixin, TrafficModel):
+    """Homogeneous Poisson arrivals at ``rate`` requests per second."""
+
+    def __init__(
+        self,
+        regions: Sequence[str],
+        rate: float,
+        modes_per_region: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.regions = list(regions)
+        self.rate = float(rate)
+        self.modes_per_region = modes_per_region
+        self.seed = seed
+        self._check_population()
+
+    def generate(self, horizon: float) -> List[ModeRequest]:
+        horizon = self._check_horizon(horizon)
+        rng = make_rng(self.seed)
+        requests: List[ModeRequest] = []
+        time = float(rng.exponential(1.0 / self.rate))
+        while time < horizon:
+            requests.append(self._pick(rng, time))
+            time += float(rng.exponential(1.0 / self.rate))
+        return requests
+
+
+class InhomogeneousPoissonTraffic(_RandomModeMixin, TrafficModel):
+    """Inhomogeneous Poisson arrivals with rate ``rate_fn(t)``.
+
+    Uses Lewis–Shedler thinning: candidate points are drawn from a
+    homogeneous process at the dominating rate ``rate_max`` and each is kept
+    with probability ``rate_fn(t) / rate_max``.  ``rate_fn`` must satisfy
+    ``0 <= rate_fn(t) <= rate_max`` over the horizon (violations raise).
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[str],
+        rate_fn: Callable[[float], float],
+        rate_max: float,
+        modes_per_region: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if rate_max <= 0:
+            raise ValueError(f"rate_max must be positive, got {rate_max}")
+        self.regions = list(regions)
+        self.rate_fn = rate_fn
+        self.rate_max = float(rate_max)
+        self.modes_per_region = modes_per_region
+        self.seed = seed
+        self._check_population()
+
+    def generate(self, horizon: float) -> List[ModeRequest]:
+        horizon = self._check_horizon(horizon)
+        rng = make_rng(self.seed)
+        requests: List[ModeRequest] = []
+        time = float(rng.exponential(1.0 / self.rate_max))
+        while time < horizon:
+            rate = float(self.rate_fn(time))
+            if rate < 0 or rate > self.rate_max + 1e-9:
+                raise ValueError(
+                    f"rate_fn({time:.6f}) = {rate} outside [0, rate_max={self.rate_max}]"
+                )
+            if rng.random() < rate / self.rate_max:
+                requests.append(self._pick(rng, time))
+            time += float(rng.exponential(1.0 / self.rate_max))
+        return requests
+
+
+def sinusoidal_rate(
+    base: float, amplitude: float, period: float
+) -> Callable[[float], float]:
+    """A diurnal-style rate ``base + amplitude * sin(2*pi*t / period)``.
+
+    ``amplitude <= base`` keeps the rate non-negative; the dominating rate
+    for thinning is ``base + amplitude``.
+    """
+    if base <= 0 or period <= 0:
+        raise ValueError("base and period must be positive")
+    if not 0 <= amplitude <= base:
+        raise ValueError("amplitude must be within [0, base]")
+
+    def rate(time: float) -> float:
+        return base + amplitude * math.sin(2.0 * math.pi * time / period)
+
+    return rate
+
+
+class MMPPTraffic(_RandomModeMixin, TrafficModel):
+    """Two-state Markov-modulated Poisson process (quiet/burst phases).
+
+    The modulating chain alternates between state 0 (rate ``rates[0]``) and
+    state 1 (rate ``rates[1]``); sojourn times in each state are exponential
+    with the given means.  This is the standard bursty-traffic model: long
+    quiet stretches punctuated by high-rate bursts.
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[str],
+        rates: Sequence[float] = (1.0, 10.0),
+        mean_sojourns: Sequence[float] = (10.0, 2.0),
+        modes_per_region: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if len(rates) != 2 or len(mean_sojourns) != 2:
+            raise ValueError("MMPP is two-state: need exactly 2 rates and 2 sojourns")
+        if any(rate <= 0 for rate in rates) or any(s <= 0 for s in mean_sojourns):
+            raise ValueError("rates and mean sojourns must be positive")
+        self.regions = list(regions)
+        self.rates = tuple(float(rate) for rate in rates)
+        self.mean_sojourns = tuple(float(s) for s in mean_sojourns)
+        self.modes_per_region = modes_per_region
+        self.seed = seed
+        self._check_population()
+
+    def generate(self, horizon: float) -> List[ModeRequest]:
+        horizon = self._check_horizon(horizon)
+        rng = make_rng(self.seed)
+        requests: List[ModeRequest] = []
+        state = 0
+        time = 0.0
+        phase_end = float(rng.exponential(self.mean_sojourns[state]))
+        while time < horizon:
+            gap = float(rng.exponential(1.0 / self.rates[state]))
+            if time + gap >= phase_end:
+                # no arrival before the phase switch: jump states and retry
+                time = phase_end
+                state = 1 - state
+                phase_end = time + float(rng.exponential(self.mean_sojourns[state]))
+                continue
+            time += gap
+            if time >= horizon:
+                break
+            requests.append(self._pick(rng, time))
+        return requests
+
+
+class TraceReplayTraffic(TrafficModel):
+    """Deterministic replay of a :class:`ModeSchedule` as timed requests.
+
+    Dwell times become activation timestamps through
+    :meth:`ModeSchedule.timed_steps`; an untimed schedule replays as a burst
+    at ``t=0`` in the original order.  ``offset`` shifts the whole replay.
+    """
+
+    def __init__(self, schedule: ModeSchedule, offset: float = 0.0) -> None:
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self.schedule = schedule
+        self.offset = float(offset)
+
+    def generate(self, horizon: float) -> List[ModeRequest]:
+        horizon = self._check_horizon(horizon)
+        return [
+            ModeRequest(time=self.offset + time, region=region, mode=mode)
+            for time, region, mode in self.schedule.timed_steps()
+            if self.offset + time < horizon
+        ]

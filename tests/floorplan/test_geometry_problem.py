@@ -133,6 +133,16 @@ class TestPlacementAndMetrics:
             floorplan.placement_for("missing")
         payload = floorplan.to_dict()
         assert payload["placements"]["A"]["width"] == 2
+        # to_dict / from_dict round-trip preserves every placement
+        restored = Floorplan.from_dict(demo_problem, payload)
+        assert restored.placements.keys() == floorplan.placements.keys()
+        assert restored.free_areas.keys() == floorplan.free_areas.keys()
+        for placement in floorplan.all_placements():
+            other = restored.placement_for(placement.name)
+            assert other.rect == placement.rect
+            assert other.compatible_with == placement.compatible_with
+            assert other.satisfied == placement.satisfied
+        assert restored.solver_status == floorplan.solver_status
 
     def test_metrics_values(self, demo_problem):
         floorplan = Floorplan.from_rects(

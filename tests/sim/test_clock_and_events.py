@@ -1,0 +1,71 @@
+"""Tests of virtual time and the deterministic event queue."""
+
+import pytest
+
+from repro.sim import EventQueue, SimEventKind, SimTimeError, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        assert clock.advance_to(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_is_callable_for_the_manager_hook(self):
+        clock = VirtualClock(start=2.0)
+        assert clock() == 2.0
+
+    def test_advancing_to_the_same_time_is_a_noop(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_moving_backwards_raises(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        with pytest.raises(SimTimeError):
+            clock.advance_to(4.0)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(3.0, SimEventKind.ARRIVAL, "late")
+        queue.push(1.0, SimEventKind.ARRIVAL, "early")
+        queue.push(2.0, SimEventKind.ARRIVAL, "middle")
+        assert [queue.pop().payload for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_same_instant_priority_complete_fault_arrival(self):
+        queue = EventQueue()
+        queue.push(1.0, SimEventKind.ARRIVAL, "arrival")
+        queue.push(1.0, SimEventKind.FAULT, "fault")
+        queue.push(1.0, SimEventKind.COMPLETE, "complete")
+        assert [queue.pop().payload for _ in range(3)] == [
+            "complete",
+            "fault",
+            "arrival",
+        ]
+
+    def test_fifo_tie_break_within_kind(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.push(1.0, SimEventKind.ARRIVAL, index)
+        assert [queue.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.peek() is None
+        assert not queue
+        queue.push(1.0, SimEventKind.ARRIVAL, "x")
+        assert queue.peek().payload == "x"
+        assert len(queue) == 1
+        queue.pop()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-1.0, SimEventKind.ARRIVAL)

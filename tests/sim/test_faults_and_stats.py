@@ -1,0 +1,156 @@
+"""Tests of fault plans, fault-masked problems and the statistics layer."""
+
+import pytest
+
+from repro.device.resources import ResourceVector
+from repro.floorplan.geometry import Rect
+from repro.floorplan.problem import FloorplanProblem, Region
+from repro.sim import (
+    RandomFaults,
+    RequestRecord,
+    ScheduledFaults,
+    SimStats,
+    fault_masked_problem,
+    histogram,
+    percentile,
+)
+
+
+class TestFaultPlans:
+    def test_scheduled_faults_sorted_and_truncated(self):
+        plan = ScheduledFaults([(5.0, "B"), (1.0, "A")])
+        events = plan.events(horizon=10.0)
+        assert [(event.time, event.region) for event in events] == [
+            (1.0, "A"),
+            (5.0, "B"),
+        ]
+        assert [event.region for event in plan.events(horizon=2.0)] == ["A"]
+
+    def test_scheduled_faults_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledFaults([(-1.0, "A")])
+
+    def test_random_faults_reproducible(self):
+        a = RandomFaults(["A", "B"], rate=0.5, seed=6).events(100.0)
+        b = RandomFaults(["A", "B"], rate=0.5, seed=6).events(100.0)
+        assert a == b
+        assert all(event.time < 100.0 for event in a)
+
+    def test_random_faults_validation(self):
+        with pytest.raises(ValueError):
+            RandomFaults([], rate=1.0)
+        with pytest.raises(ValueError):
+            RandomFaults(["A"], rate=0.0)
+
+
+class TestFaultMaskedProblem:
+    def test_faults_become_forbidden_fabric(self, small_device):
+        problem = FloorplanProblem(
+            small_device, [Region("R", ResourceVector(CLB=2))], name="mask"
+        )
+        masked = fault_masked_problem(problem, [Rect(0, 0, 2, 2)])
+        assert masked.device.is_forbidden(0, 0)
+        assert masked.device.is_forbidden(1, 1)
+        assert not masked.device.is_forbidden(3, 3)
+        # original device untouched
+        assert not problem.device.is_forbidden(0, 0)
+        assert masked.regions == problem.regions
+
+    def test_no_faults_returns_the_same_problem(self, small_device):
+        problem = FloorplanProblem(
+            small_device, [Region("R", ResourceVector(CLB=2))], name="mask"
+        )
+        assert fault_masked_problem(problem, []) is problem
+
+    def test_successive_masking_does_not_compound(self, small_device):
+        problem = FloorplanProblem(
+            small_device, [Region("R", ResourceVector(CLB=2))], name="mask"
+        )
+        first = fault_masked_problem(problem, [Rect(0, 0, 1, 1)])
+        # re-masking with the same fault is a no-op
+        assert fault_masked_problem(first, [Rect(0, 0, 1, 1)]) is first
+        # a second fault extends the mask without duplicating the first
+        second = fault_masked_problem(first, [Rect(0, 0, 1, 1), Rect(3, 3, 1, 1)])
+        names = [rect.name for rect in second.device.forbidden]
+        assert sorted(names) == ["fault0", "fault1"]
+        assert second.device.name == f"{small_device.name}+2faults"
+        assert second.name == "mask+faultmask"
+
+
+class TestPercentileAndHistogram:
+    def test_nearest_rank_percentiles(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 50) == 50
+        assert percentile(values, 90) == 90
+        assert percentile(values, 99) == 99
+        assert percentile([7.0], 99) == 7.0
+
+    def test_percentile_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_histogram_bins_cover_all_values(self):
+        bins = histogram([0.1, 0.6, 0.9, 1.0], bins=2, upper=1.0)
+        assert len(bins) == 2
+        assert sum(count for _, _, count in bins) == 4
+        assert bins[1][2] == 3  # 0.6, 0.9 and the edge value 1.0 in the top bin
+        assert histogram([], bins=3) == []
+
+
+def _record(request_id, region, arrival, start, finish, ok=True, action="reconfigure"):
+    return RequestRecord(
+        request_id=request_id,
+        region=region,
+        mode="mode1",
+        arrival=arrival,
+        start=start,
+        finish=finish,
+        action=action,
+        frames=10,
+        ok=ok,
+    )
+
+
+class TestSimStats:
+    def test_latency_wait_service_decomposition(self):
+        stats = SimStats()
+        stats.record(_record(0, "A", arrival=0.0, start=1.0, finish=3.0))
+        record = stats.records[0]
+        assert record.wait == 1.0
+        assert record.service == 2.0
+        assert record.latency == 3.0
+
+    def test_blocking_probability_counts_drops_and_failures(self):
+        stats = SimStats()
+        stats.record(_record(0, "A", 0.0, 0.0, 1.0))
+        stats.record(_record(1, "A", 0.0, 1.0, 1.0, ok=False, action="blocked"))
+        stats.record_rejected_arrival()
+        assert stats.blocking_probability == pytest.approx(2 / 3)
+        assert len(stats.served) == 1
+        assert len(stats.blocked) == 1
+
+    def test_utilization_tables_are_non_empty(self):
+        stats = SimStats()
+        stats.record(_record(0, "A", 0.0, 0.0, 2.0))
+        stats.record(_record(1, "B", 1.0, 2.0, 3.0))
+        assert stats.port_utilization(num_ports=1, makespan=10.0) == pytest.approx(0.3)
+        assert stats.region_busy_times() == {"A": 2.0, "B": 1.0}
+        rows = stats.utilization_rows(num_ports=1, makespan=10.0)
+        assert rows[0][0] == "port(s)"
+        assert len(rows) == 3
+        latency_rows = stats.latency_rows()
+        assert [row[0] for row in latency_rows] == ["latency", "wait", "service"]
+        assert all(row[1] == 2 for row in latency_rows)
+
+    def test_empty_stats_render_dashes(self):
+        stats = SimStats()
+        rows = stats.latency_rows()
+        assert all(row[2] == "-" for row in rows)
+        assert stats.blocking_probability == 0.0
+        assert "latency" in stats.format_latency()
+
+    def test_actions_counter(self):
+        stats = SimStats()
+        stats.record(_record(0, "A", 0.0, 0.0, 1.0))
+        stats.record(_record(1, "A", 0.0, 1.0, 2.0, action="relocate+reconfigure"))
+        assert stats.actions() == {"reconfigure": 1, "relocate+reconfigure": 1}

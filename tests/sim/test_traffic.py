@@ -1,0 +1,138 @@
+"""Tests of the arrival-process generators."""
+
+import pytest
+
+from repro.runtime.scheduler import ModeSchedule, random_schedule
+from repro.sim import (
+    InhomogeneousPoissonTraffic,
+    MMPPTraffic,
+    PoissonTraffic,
+    TraceReplayTraffic,
+    sinusoidal_rate,
+)
+
+REGIONS = ["A", "B", "C"]
+
+
+class TestPoissonTraffic:
+    def test_seeded_and_reproducible(self):
+        a = PoissonTraffic(REGIONS, rate=5.0, seed=11).generate(50.0)
+        b = PoissonTraffic(REGIONS, rate=5.0, seed=11).generate(50.0)
+        assert a == b
+        assert PoissonTraffic(REGIONS, rate=5.0, seed=12).generate(50.0) != a
+
+    def test_times_sorted_and_bounded(self):
+        requests = PoissonTraffic(REGIONS, rate=5.0, seed=0).generate(20.0)
+        times = [request.time for request in requests]
+        assert times == sorted(times)
+        assert all(0 < time < 20.0 for time in times)
+
+    def test_rate_roughly_matches(self):
+        requests = PoissonTraffic(REGIONS, rate=10.0, seed=1).generate(200.0)
+        assert 0.75 * 2000 < len(requests) < 1.25 * 2000
+
+    def test_regions_and_modes_drawn_from_population(self):
+        requests = PoissonTraffic(REGIONS, rate=5.0, modes_per_region=2, seed=0).generate(30.0)
+        assert {request.region for request in requests} <= set(REGIONS)
+        assert {request.mode for request in requests} <= {"mode1", "mode2"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(REGIONS, rate=0.0)
+        with pytest.raises(ValueError):
+            PoissonTraffic([], rate=1.0)
+        with pytest.raises(ValueError):
+            PoissonTraffic(REGIONS, rate=1.0).generate(0.0)
+
+
+class TestInhomogeneousPoissonTraffic:
+    def test_thinning_tracks_the_rate_function(self):
+        # rate ramps from 0 to 10 over [0, 100]: most arrivals land late
+        traffic = InhomogeneousPoissonTraffic(
+            REGIONS, rate_fn=lambda t: t / 10.0, rate_max=10.0, seed=3
+        )
+        requests = traffic.generate(100.0)
+        assert requests
+        first_half = sum(1 for request in requests if request.time < 50.0)
+        assert first_half < len(requests) / 2
+
+    def test_reproducible(self):
+        rate = sinusoidal_rate(base=4.0, amplitude=3.0, period=20.0)
+        a = InhomogeneousPoissonTraffic(REGIONS, rate, 7.0, seed=5).generate(60.0)
+        b = InhomogeneousPoissonTraffic(REGIONS, rate, 7.0, seed=5).generate(60.0)
+        assert a == b
+
+    def test_rate_fn_exceeding_dominating_rate_raises(self):
+        traffic = InhomogeneousPoissonTraffic(
+            REGIONS, rate_fn=lambda t: 100.0, rate_max=1.0, seed=0
+        )
+        with pytest.raises(ValueError):
+            traffic.generate(100.0)
+
+    def test_sinusoidal_rate_validation(self):
+        with pytest.raises(ValueError):
+            sinusoidal_rate(base=1.0, amplitude=2.0, period=10.0)
+        with pytest.raises(ValueError):
+            sinusoidal_rate(base=0.0, amplitude=0.0, period=10.0)
+
+
+class TestMMPPTraffic:
+    def test_reproducible_and_bounded(self):
+        a = MMPPTraffic(REGIONS, rates=(1.0, 20.0), mean_sojourns=(5.0, 1.0), seed=2)
+        b = MMPPTraffic(REGIONS, rates=(1.0, 20.0), mean_sojourns=(5.0, 1.0), seed=2)
+        first, second = a.generate(100.0), b.generate(100.0)
+        assert first == second
+        times = [request.time for request in first]
+        assert times == sorted(times)
+        assert all(time < 100.0 for time in times)
+
+    def test_mean_rate_between_the_two_states(self):
+        traffic = MMPPTraffic(
+            REGIONS, rates=(1.0, 10.0), mean_sojourns=(10.0, 10.0), seed=4
+        )
+        count = len(traffic.generate(500.0))
+        assert 1.0 * 500 * 0.5 < count < 10.0 * 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPTraffic(REGIONS, rates=(1.0,))
+        with pytest.raises(ValueError):
+            MMPPTraffic(REGIONS, rates=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            MMPPTraffic(REGIONS, mean_sojourns=(0.0, 1.0))
+
+
+class TestTraceReplayTraffic:
+    def test_untimed_schedule_replays_as_a_burst_in_order(self):
+        schedule = ModeSchedule(steps=(("A", "mode1"), ("B", "mode2"), ("A", "mode3")))
+        requests = TraceReplayTraffic(schedule).generate(10.0)
+        assert [(r.time, r.region, r.mode) for r in requests] == [
+            (0.0, "A", "mode1"),
+            (0.0, "B", "mode2"),
+            (0.0, "A", "mode3"),
+        ]
+
+    def test_dwell_times_become_cumulative_timestamps(self):
+        schedule = ModeSchedule(
+            steps=(("A", "mode1"), ("B", "mode2"), ("A", "mode3")),
+            dwells=(1.0, 2.5, 4.0),
+        )
+        requests = TraceReplayTraffic(schedule).generate(10.0)
+        assert [request.time for request in requests] == [0.0, 1.0, 3.5]
+
+    def test_horizon_truncates_and_offset_shifts(self):
+        schedule = ModeSchedule(
+            steps=(("A", "mode1"), ("B", "mode2")), dwells=(5.0, 5.0)
+        )
+        assert len(TraceReplayTraffic(schedule).generate(4.0)) == 1
+        shifted = TraceReplayTraffic(schedule, offset=2.0).generate(10.0)
+        assert [request.time for request in shifted] == [2.0, 7.0]
+
+    def test_random_timed_schedule_round_trips(self):
+        schedule = random_schedule(REGIONS, length=20, seed=9, dwell_mean=1.5)
+        assert len(schedule.dwells) == 20
+        requests = TraceReplayTraffic(schedule).generate(float("inf"))
+        assert len(requests) == 20
+        assert [request.time for request in requests] == [
+            time for time, _, _ in schedule.timed_steps()
+        ]
