@@ -9,27 +9,16 @@ import pytest
 
 from repro.baselines import annealing_floorplan, first_fit_floorplan, tessellation_floorplan
 from repro.baselines.annealing import AnnealingOptions
+from repro.bench.scenarios import scaling_problem, small_problem as _small_problem
 from repro.device.catalog import synthetic_device
 from repro.device.resources import ResourceVector
 from repro.floorplan import FloorplanSolver, ObjectiveWeights
 from repro.floorplan.metrics import evaluate_floorplan
 from repro.floorplan.milp_builder import build_floorplan_milp
-from repro.floorplan.problem import Connection, FloorplanProblem, Region
+from repro.floorplan.problem import FloorplanProblem, Region
 from repro.milp import SolverOptions
 from repro.relocation import RelocationSpec
 from repro.relocation.constraints import apply_relocation_constraints
-
-
-def _small_problem(name: str = "ablation") -> FloorplanProblem:
-    device = synthetic_device(12, 5, bram_every=4, dsp_every=9, name=f"{name}-dev")
-    regions = [
-        Region("A", ResourceVector(CLB=6)),
-        Region("B", ResourceVector(CLB=3, BRAM=1)),
-        Region("C", ResourceVector(CLB=2, DSP=1)),
-    ]
-    connections = [Connection("A", "B", weight=16), Connection("B", "C", weight=16)]
-    return FloorplanProblem(device, regions, connections, name=name)
-
 
 FAST = SolverOptions(time_limit=60, mip_gap=0.02)
 
@@ -116,13 +105,7 @@ def test_ablation_heuristics(benchmark, heuristic):
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("width", [10, 16, 24, 33])
 def test_scaling_model_build_with_device_width(benchmark, width):
-    device = synthetic_device(width, 6, bram_every=5, dsp_every=9, name=f"scale-{width}")
-    regions = [
-        Region("A", ResourceVector(CLB=5)),
-        Region("B", ResourceVector(CLB=3, BRAM=1)),
-        Region("C", ResourceVector(CLB=2)),
-    ]
-    problem = FloorplanProblem(device, regions, name=f"scale-{width}")
+    problem = scaling_problem(width)
     milp = benchmark(build_floorplan_milp, problem)
     stats = milp.model.stats()
     print(f"\nwidth={width}: {stats}")

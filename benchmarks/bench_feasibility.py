@@ -13,17 +13,12 @@ import pytest
 
 from repro.analysis import format_table
 from repro.baselines import relocation_aware_greedy
+from repro.bench.scenarios import bench_time_limit
 from repro.floorplan import FloorplanSolver
 from repro.floorplan.verify import verify_floorplan
 from repro.milp import SolverOptions
 from repro.relocation import RelocationSpec
 from repro.workloads.sdr import SDR_REGION_NAMES, SDR_RELOCATABLE
-
-
-def bench_time_limit(default: float = 60.0) -> float:
-    import os
-
-    return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", default))
 
 
 _FEASIBILITY_CACHE: dict = {}

@@ -10,12 +10,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro.bench.scenarios import relocation_problem
 from repro.bitstream import generate_bitstream, relocate_bitstream
 from repro.device.catalog import synthetic_device
 from repro.device.partition import columnar_partition
-from repro.device.resources import ResourceVector
 from repro.floorplan import FloorplanSolver, Rect
-from repro.floorplan.problem import FloorplanProblem, Region
 from repro.milp import SolverOptions
 from repro.relocation import RelocationSpec
 from repro.runtime import ReconfigurationManager, round_robin_schedule
@@ -23,15 +22,7 @@ from repro.runtime import ReconfigurationManager, round_robin_schedule
 
 @pytest.fixture(scope="module")
 def relocation_floorplan():
-    device = synthetic_device(12, 5, bram_every=4, dsp_every=9, name="rt-dev")
-    problem = FloorplanProblem(
-        device,
-        [
-            Region("filter", ResourceVector(CLB=4)),
-            Region("decoder", ResourceVector(CLB=2, BRAM=1)),
-        ],
-        name="rt",
-    )
+    problem = relocation_problem()
     spec = RelocationSpec.as_constraint({"filter": 1, "decoder": 1})
     report = FloorplanSolver(
         problem, relocation=spec, options=SolverOptions(time_limit=60, mip_gap=0.02)

@@ -10,32 +10,17 @@ must come out far above the 2x bar on any hardware.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.device.catalog import synthetic_device
-from repro.milp import SolverOptions
-from repro.service import BatchSolver, SolveCache, sweep_jobs
-from repro.service.sweep import constraint_for
+from repro.bench.scenarios import throughput_sweep_jobs
+from repro.service import BatchSolver, SolveCache
 from repro.utils.timing import Timer
-from repro.workloads.synthetic import config_grid
 
 
 @pytest.fixture(scope="module")
 def grid_jobs():
     """An 8-job grid: 2 workload sizes x 2 seeds x (no relocation | 1 area)."""
-    device = synthetic_device(12, 5, bram_every=4, dsp_every=9, name="throughput-dev")
-    configs = config_grid(num_regions=(3, 4), utilizations=(0.45,), seeds=(0, 1))
-    time_limit = float(os.environ.get("REPRO_BENCH_TIME_LIMIT", 30))
-    options = SolverOptions(time_limit=time_limit, mip_gap=0.05)
-    jobs = sweep_jobs(
-        [device],
-        configs,
-        relocations=(None, constraint_for(regions=1, copies=1)),
-        modes=("HO",),
-        options=options,
-    )
+    jobs = throughput_sweep_jobs()
     assert len(jobs) >= 8
     return jobs
 

@@ -13,11 +13,7 @@ import os
 
 import pytest
 
-from repro.device.catalog import simple_two_type_device
-from repro.device.resources import ResourceVector
-from repro.floorplan.geometry import Rect
-from repro.floorplan.placement import Floorplan
-from repro.floorplan.problem import FloorplanProblem, Region
+from repro.bench.scenarios import sim_floorplan
 from repro.runtime import ReconfigurationManager
 from repro.sim import (
     MMPPTraffic,
@@ -35,18 +31,8 @@ HORIZON = float(os.environ.get("REPRO_BENCH_SIM_HORIZON", 500.0))
 
 @pytest.fixture(scope="module")
 def floorplan():
-    """Two regions with one reserved free area each, built without a solver."""
-    device = simple_two_type_device()
-    regions = [
-        Region("A", ResourceVector(CLB=4)),
-        Region("B", ResourceVector(CLB=4)),
-    ]
-    problem = FloorplanProblem(device, regions, name="sim-bench")
-    return Floorplan.from_rects(
-        problem,
-        {"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 2, 2)},
-        free_rects={"A 1": (Rect(2, 0, 2, 2), "A"), "B 1": (Rect(8, 0, 2, 2), "B")},
-    )
+    """The shared two-region simulator scenario (see repro.bench.scenarios)."""
+    return sim_floorplan()
 
 
 def _throughput(result, elapsed: float) -> float:

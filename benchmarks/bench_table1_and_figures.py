@@ -6,8 +6,6 @@ to also see the regenerated table/figure text.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import format_table, render_partition
 from repro.analysis.render import render_rect_overlay
 from repro.analysis.report import TABLE1_HEADERS, table1_rows

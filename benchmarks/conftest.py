@@ -21,13 +21,10 @@ import os
 
 import pytest
 
+from repro.bench.scenarios import bench_time_limit
 from repro.floorplan import FloorplanSolver, ObjectiveWeights
 from repro.milp import SolverOptions
 from repro.workloads import sdr_problem, sdr2_spec, sdr3_spec
-
-
-def bench_time_limit(default: float = 90.0) -> float:
-    return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", default))
 
 
 def sdr3_time_limit(default: float = 180.0) -> float:
@@ -42,7 +39,7 @@ def sdr():
 
 @pytest.fixture(scope="session")
 def bench_options():
-    return SolverOptions(time_limit=bench_time_limit(), mip_gap=0.02)
+    return SolverOptions(time_limit=bench_time_limit(90.0), mip_gap=0.02)
 
 
 @pytest.fixture(scope="session")

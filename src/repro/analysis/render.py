@@ -17,7 +17,7 @@ Rendering conventions:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.device.grid import FPGADevice
 from repro.device.partition import ColumnarPartition

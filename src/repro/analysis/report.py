@@ -7,7 +7,7 @@ strings.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.floorplan.metrics import evaluate_floorplan
 from repro.floorplan.placement import Floorplan

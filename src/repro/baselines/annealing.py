@@ -12,6 +12,17 @@ keeping resource feasibility.  This module provides an equivalent baseline:
 
 The annealer never uses wall-clock time or global randomness — everything is
 driven by an explicit ``numpy`` generator seed, so runs are reproducible.
+
+Cost evaluation is *incremental*: a neighbour move changes one region's
+rectangle, so only that region's forbidden/deficit/wasted components, its
+overlap terms and the wirelength of the connections touching it are
+recomputed (:class:`_IncrementalCostEvaluator`).  The full recompute
+(:class:`_CostEvaluator`) is kept both as the readable specification of the
+cost and as the reference that the equivalence tests run the annealer
+against — the incremental path reproduces its costs bit-for-bit (integer
+components are exact; the wirelength sum is re-accumulated in connection
+order), so both evaluators drive the annealer through identical
+accept/reject trajectories.
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +53,10 @@ class AnnealingOptions:
     forbidden_penalty: float = 500.0
     wasted_frame_weight: float = 1.0
     wirelength_weight: float = 0.2
+    #: Use the delta-cost evaluator (False falls back to full re-evaluation;
+    #: both produce identical trajectories — this knob exists for the
+    #: equivalence tests and for debugging).
+    incremental: bool = True
 
 
 def annealing_floorplan(
@@ -64,13 +79,17 @@ def annealing_floorplan(
     if state is None:
         return None
 
-    evaluator = _CostEvaluator(problem, options)
-    current_cost = evaluator.cost(state)
+    evaluator = (
+        _IncrementalCostEvaluator(problem, options)
+        if options.incremental
+        else _CostEvaluator(problem, options)
+    )
+    current_cost = evaluator.reset(state)
     best_state = dict(state)
     best_cost = current_cost
     best_feasible: Optional[Dict[str, Rect]] = None
     best_feasible_cost = math.inf
-    if evaluator.is_feasible(state):
+    if evaluator.feasible(state):
         best_feasible, best_feasible_cost = dict(state), current_cost
 
     temperature = options.initial_temperature
@@ -83,17 +102,19 @@ def annealing_floorplan(
             continue
         old_rect = state[name]
         state[name] = candidate_rect
-        candidate_cost = evaluator.cost(state)
+        candidate_cost = evaluator.propose(name, candidate_rect, state)
         delta = candidate_cost - current_cost
         if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            evaluator.commit()
             current_cost = candidate_cost
             if candidate_cost < best_cost:
                 best_cost = candidate_cost
                 best_state = dict(state)
-            if candidate_cost < best_feasible_cost and evaluator.is_feasible(state):
+            if candidate_cost < best_feasible_cost and evaluator.feasible(state):
                 best_feasible_cost = candidate_cost
                 best_feasible = dict(state)
         else:
+            evaluator.reject()
             state[name] = old_rect
         temperature *= options.cooling
 
@@ -152,7 +173,12 @@ def _propose(
 
 
 class _CostEvaluator:
-    """Penalized cost of a (possibly infeasible) placement state."""
+    """Penalized cost of a (possibly infeasible) placement state.
+
+    This is the reference implementation: every call re-evaluates the whole
+    state.  It defines the semantics that :class:`_IncrementalCostEvaluator`
+    must reproduce exactly.
+    """
 
     def __init__(self, problem: FloorplanProblem, options: AnnealingOptions) -> None:
         self.problem = problem
@@ -217,5 +243,203 @@ class _CostEvaluator:
                 if self.device.is_forbidden(col, row):
                     return False
             if not rect_resources(self.device, rect).covers(region.requirements):
+                return False
+        return True
+
+    # -- annealer protocol (full re-evaluation on every call) -----------
+    def reset(self, state: Dict[str, Rect]) -> float:
+        return self.cost(state)
+
+    def propose(self, name: str, new_rect: Rect, state: Dict[str, Rect]) -> float:
+        return self.cost(state)
+
+    def commit(self) -> None:
+        pass
+
+    def reject(self) -> None:
+        pass
+
+    def feasible(self, state: Dict[str, Rect]) -> bool:
+        return self.is_feasible(state)
+
+
+class _IncrementalCostEvaluator:
+    """Delta-cost evaluation: only re-measure what a single move changed.
+
+    Cached per region: the forbidden-cell count, resource deficit and wasted
+    frames of its current rectangle (pure functions of the rectangle, memoized
+    per ``(name, rect)``), plus its ``within``-bounds flag.  Cached globally:
+    the total pairwise overlap (exact integer, updated with the O(n) terms
+    involving the moved region) and the per-connection wirelengths.
+
+    Bit-for-bit equivalence with :class:`_CostEvaluator`: all penalty
+    components are integers (exact under any update order) and the wirelength
+    is re-accumulated over the per-connection values in connection order —
+    the same additions, in the same order, as the reference loop.
+    """
+
+    def __init__(self, problem: FloorplanProblem, options: AnnealingOptions) -> None:
+        self.problem = problem
+        self.options = options
+        self.device = problem.device
+        self.regions: Dict[str, Region] = {r.name: r for r in problem.regions}
+        self.required_frames = {
+            r.name: problem.required_frames(r) for r in problem.regions
+        }
+        # connections touching each region, as indices into problem.connections
+        self._conn_indices: Dict[str, List[int]] = {name: [] for name in self.regions}
+        for index, connection in enumerate(problem.connections):
+            for endpoint in connection.endpoints():
+                if endpoint in self._conn_indices:
+                    self._conn_indices[endpoint].append(index)
+        self._component_memo: Dict[Tuple[str, Rect], Tuple[int, int, int, bool]] = {}
+        # mutable run state (filled by reset)
+        self._names: List[str] = []
+        self._rects: Dict[str, Rect] = {}
+        self._components: Dict[str, Tuple[int, int, int, bool]] = {}
+        self._overlap_total = 0
+        self._conn_lengths: List[float] = []
+        self._pending: Optional[Tuple[str, Rect, Tuple[int, int, int, bool], int, Dict[int, float]]] = None
+
+    # ------------------------------------------------------------------
+    def _region_components(self, name: str, rect: Rect) -> Tuple[int, int, int, bool]:
+        """(forbidden, deficit, wasted, within) of one region's rectangle."""
+        key = (name, rect)
+        cached = self._component_memo.get(key)
+        if cached is None:
+            region = self.regions[name]
+            within = rect.within(self.device.width, self.device.height)
+            forbidden = self.device.forbidden_cell_count(
+                rect.col, rect.row, rect.width, rect.height
+            )
+            covered = rect_resources(self.device, rect)
+            deficit = covered.deficit(region.requirements).total
+            wasted = max(
+                0, rect_frames(self.device, rect) - self.required_frames[name]
+            )
+            cached = (forbidden, deficit, wasted, within)
+            self._component_memo[key] = cached
+        return cached
+
+    def _connection_length(self, index: int) -> float:
+        connection = self.problem.connections[index]
+        centers = []
+        for endpoint in connection.endpoints():
+            if endpoint in self._rects:
+                centers.append(self._rects[endpoint].center)
+            else:
+                centers.append(self.problem.pin_by_name(endpoint).center)
+        return connection.weight * manhattan(centers[0], centers[1])
+
+    def _total_cost(self, wirelength: float, forbidden: int, deficit: int, wasted: int) -> float:
+        options = self.options
+        return (
+            options.overlap_penalty * self._overlap_total
+            + options.forbidden_penalty * forbidden
+            + options.deficit_penalty * deficit
+            + options.wasted_frame_weight * wasted
+            + options.wirelength_weight * wirelength
+        )
+
+    def _summed_components(self) -> Tuple[int, int, int]:
+        forbidden = deficit = wasted = 0
+        for name in self._names:
+            f, d, w, _ = self._components[name]
+            forbidden += f
+            deficit += d
+            wasted += w
+        return forbidden, deficit, wasted
+
+    # ------------------------------------------------------------------
+    def reset(self, state: Dict[str, Rect]) -> float:
+        """Full evaluation; establishes the caches for later deltas."""
+        self._pending = None
+        self._names = list(state.keys())
+        self._rects = dict(state)
+        self._components = {
+            name: self._region_components(name, rect) for name, rect in state.items()
+        }
+        self._overlap_total = 0
+        rect_list = list(state.values())
+        for i, first in enumerate(rect_list):
+            for second in rect_list[i + 1 :]:
+                self._overlap_total += first.intersection_area(second)
+        self._conn_lengths = [
+            self._connection_length(index)
+            for index in range(len(self.problem.connections))
+        ]
+        wirelength = 0.0
+        for length in self._conn_lengths:
+            wirelength += length
+        forbidden, deficit, wasted = self._summed_components()
+        return self._total_cost(wirelength, forbidden, deficit, wasted)
+
+    def propose(self, name: str, new_rect: Rect, state: Dict[str, Rect]) -> float:
+        """Cost of the state with ``name`` moved to ``new_rect`` (uncommitted)."""
+        old_rect = self._rects[name]
+        overlap_delta = 0
+        for other_name in self._names:
+            if other_name == name:
+                continue
+            other = self._rects[other_name]
+            overlap_delta += new_rect.intersection_area(other)
+            overlap_delta -= old_rect.intersection_area(other)
+
+        new_components = self._region_components(name, new_rect)
+
+        changed_lengths: Dict[int, float] = {}
+        if self._conn_indices.get(name):
+            # evaluate affected connections against the candidate rectangle
+            self._rects[name] = new_rect
+            try:
+                for index in self._conn_indices[name]:
+                    changed_lengths[index] = self._connection_length(index)
+            finally:
+                self._rects[name] = old_rect
+
+        wirelength = 0.0
+        for index, length in enumerate(self._conn_lengths):
+            wirelength += changed_lengths.get(index, length)
+
+        self._overlap_total += overlap_delta
+        old_components = self._components[name]
+        forbidden, deficit, wasted = self._summed_components()
+        forbidden += new_components[0] - old_components[0]
+        deficit += new_components[1] - old_components[1]
+        wasted += new_components[2] - old_components[2]
+        cost = self._total_cost(wirelength, forbidden, deficit, wasted)
+        self._overlap_total -= overlap_delta
+
+        self._pending = (name, new_rect, new_components, overlap_delta, changed_lengths)
+        return cost
+
+    def commit(self) -> None:
+        """Adopt the last proposed move into the caches."""
+        if self._pending is None:
+            raise RuntimeError("commit() without a pending propose()")
+        name, new_rect, components, overlap_delta, changed_lengths = self._pending
+        self._rects[name] = new_rect
+        self._components[name] = components
+        self._overlap_total += overlap_delta
+        for index, length in changed_lengths.items():
+            self._conn_lengths[index] = length
+        self._pending = None
+
+    def reject(self) -> None:
+        """Discard the last proposed move."""
+        self._pending = None
+
+    def feasible(self, state: Dict[str, Rect]) -> bool:
+        """Feasibility from the cached components (post-commit state).
+
+        Equivalent to :meth:`_CostEvaluator.is_feasible`: zero overlap, every
+        rectangle within bounds and off forbidden cells, zero resource
+        deficit.
+        """
+        if self._overlap_total != 0:
+            return False
+        for name in self._names:
+            forbidden, deficit, _, within = self._components[name]
+            if not within or forbidden != 0 or deficit != 0:
                 return False
         return True

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Sequence
 
 from repro.device.grid import FPGADevice
 from repro.device.resources import ResourceVector
@@ -17,23 +17,26 @@ def rect_is_free(device: FPGADevice, rect: Rect, occupied: Sequence[Rect]) -> bo
     for other in occupied:
         if rect.overlaps(other):
             return False
-    for col, row in rect.cells():
-        if device.is_forbidden(col, row):
-            return False
-    return True
+    return device.forbidden_cell_count(rect.col, rect.row, rect.width, rect.height) == 0
 
 
 def rect_resources(device: FPGADevice, rect: Rect) -> ResourceVector:
-    """Resources covered by a rectangle."""
+    """Resources covered by a rectangle (histogram-based, one grid pass)."""
+    histogram = device.tile_type_histogram(rect.col, rect.row, rect.width, rect.height)
     total = ResourceVector.zero()
-    for col, row in rect.cells():
-        total = total + device.tile_type_at(col, row).resources
+    for count, tile_type in zip(histogram, device.tile_type_list):
+        if count:
+            total = total + tile_type.resources * count
     return total
 
 
 def rect_frames(device: FPGADevice, rect: Rect) -> int:
     """Configuration frames covered by a rectangle."""
-    return sum(device.tile_type_at(col, row).frames for col, row in rect.cells())
+    histogram = device.tile_type_histogram(rect.col, rect.row, rect.width, rect.height)
+    return sum(
+        count * tile_type.frames
+        for count, tile_type in zip(histogram, device.tile_type_list)
+    )
 
 
 def rect_satisfies(device: FPGADevice, rect: Rect, region: Region) -> bool:

@@ -1,0 +1,53 @@
+"""Unified benchmark harness with machine-readable performance baselines.
+
+The package turns the repository's ad-hoc benchmark scripts into a single
+registry-driven harness:
+
+* :func:`~repro.bench.registry.benchmark` registers a benchmark factory under
+  a dotted name (``"floorplan.sp_relations"``);
+* :mod:`repro.bench.runner` runs registered benchmarks with a
+  warmup/repeat/timer protocol under a ``--quick`` or ``--full`` profile;
+* :mod:`repro.bench.report` serializes results into a schema-versioned
+  ``BENCH_<rev>.json`` (median/p10/p90 wall time, throughput, peak RSS,
+  git revision, python version);
+* :mod:`repro.bench.compare` diffs two report files and gates on a
+  configurable regression threshold;
+* :mod:`repro.bench.scenarios` holds the shared device/workload scenario
+  builders that the ``benchmarks/`` scripts and the registered suite share.
+
+Run it with ``python -m repro.bench --quick`` and compare two snapshots with
+``python -m repro.bench compare old.json new.json``.
+"""
+
+from repro.bench.registry import Benchmark, BenchmarkRegistry, REGISTRY, benchmark
+from repro.bench.runner import BenchProfile, Measurement, Workload, run_benchmark, run_suite
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    BenchReport,
+    BenchResult,
+    default_report_name,
+    load_report,
+    save_report,
+)
+from repro.bench.compare import CompareResult, Delta, compare_reports
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkRegistry",
+    "REGISTRY",
+    "benchmark",
+    "BenchProfile",
+    "Measurement",
+    "Workload",
+    "run_benchmark",
+    "run_suite",
+    "SCHEMA_VERSION",
+    "BenchReport",
+    "BenchResult",
+    "default_report_name",
+    "load_report",
+    "save_report",
+    "CompareResult",
+    "Delta",
+    "compare_reports",
+]

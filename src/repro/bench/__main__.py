@@ -1,0 +1,141 @@
+"""Command-line interface of the benchmark harness.
+
+Run the suite and write a snapshot::
+
+    python -m repro.bench --quick                 # BENCH_<rev>.json
+    python -m repro.bench --full --filter floorplan -o BENCH_full.json
+
+Compare two snapshots (exit 1 on regression past the threshold)::
+
+    python -m repro.bench compare old.json new.json --threshold 0.25
+    python -m repro.bench compare old.json new.json --warn-only
+
+Exit codes: 0 success / no regression, 1 regression past threshold,
+2 usage or input-file errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import suite  # noqa: F401  (importing registers the suite)
+from repro.bench.compare import compare_reports, format_comparison
+from repro.bench.registry import REGISTRY
+from repro.bench.report import default_report_name, load_report, save_report, summarize
+from repro.bench.runner import BenchProfile, run_suite
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the benchmark suite or compare two BENCH_*.json files.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser("run", help="run the benchmark suite (the default)")
+    for target in (parser, run):
+        target.add_argument(
+            "--quick", action="store_true", help="small inputs, few repeats (default)"
+        )
+        target.add_argument(
+            "--full", action="store_true", help="larger inputs, more repeats"
+        )
+        target.add_argument(
+            "--filter",
+            action="append",
+            default=None,
+            metavar="SUBSTRING",
+            help="only run benchmarks whose name contains SUBSTRING (repeatable)",
+        )
+        target.add_argument(
+            "-o", "--output", default=None, help="output path (default BENCH_<rev>.json)"
+        )
+        target.add_argument(
+            "--list", action="store_true", help="list registered benchmarks and exit"
+        )
+
+    cmp_parser = sub.add_parser("compare", help="diff two BENCH_*.json files")
+    cmp_parser.add_argument("old", help="baseline report")
+    cmp_parser.add_argument("new", help="candidate report")
+    cmp_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional median slowdown that counts as a regression (default 0.25)",
+    )
+    cmp_parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print regressions but always exit 0 (CI warm-up mode)",
+    )
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in REGISTRY.names():
+            print(name)
+        return EXIT_OK
+    if args.quick and args.full:
+        print("error: --quick and --full are mutually exclusive", file=sys.stderr)
+        return EXIT_USAGE
+    profile = BenchProfile.full() if args.full else BenchProfile.quick()
+    selected = REGISTRY.select(args.filter)
+    if not selected:
+        print("error: no benchmarks match the filter", file=sys.stderr)
+        return EXIT_USAGE
+    print(f"running {len(selected)} benchmark(s) under the {profile.name!r} profile")
+    measurements = run_suite(
+        profile,
+        patterns=args.filter,
+        progress=lambda name: print(f"  {name} ...", flush=True),
+    )
+    report = summarize(measurements, profile.name)
+    path = save_report(report, args.output or default_report_name(report.git_rev))
+    width = max(len(r.name) for r in report.results)
+    for result in report.results:
+        print(
+            f"{result.name:<{width}}  median {result.median_s * 1e3:9.3f} ms  "
+            f"p90 {result.p90_s * 1e3:9.3f} ms  "
+            f"{result.throughput:12,.1f} {result.unit_name}/s"
+        )
+    print(f"wrote {path} (rev {report.git_rev}, python {report.python_version})")
+    return EXIT_OK
+
+
+def _compare(args: argparse.Namespace) -> int:
+    try:
+        old = load_report(args.old)
+        new = load_report(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.threshold < 0:
+        print("error: --threshold must be non-negative", file=sys.stderr)
+        return EXIT_USAGE
+    result = compare_reports(old, new, threshold=args.threshold)
+    print(format_comparison(result))
+    if result.ok or args.warn_only:
+        if not result.ok:
+            print("(warn-only: regressions reported but not gated)")
+        return EXIT_OK
+    return EXIT_REGRESSION
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (importable for tests; returns the exit code)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "compare":
+        return _compare(args)
+    return _run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Benchmark registry: named factories discovered and run by the harness.
+
+A benchmark is registered by decorating a *factory* with
+:func:`benchmark`.  The factory receives the active
+:class:`~repro.bench.runner.BenchProfile` and returns a
+:class:`~repro.bench.runner.Workload` — a zero-argument callable plus the
+number of abstract work units one call performs (used to report throughput).
+All expensive setup belongs in the factory so the timed section measures only
+the operation under study::
+
+    @benchmark("floorplan.sp_relations", group="floorplan")
+    def sp_relations(profile):
+        pair = _make_pair(n=profile.scaled(30, 120))
+        return Workload(lambda: pair.relations(), units=1, unit_name="calls")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional
+
+__all__ = ["Benchmark", "BenchmarkRegistry", "REGISTRY", "benchmark"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Benchmark:
+    """A registered benchmark: a dotted name, a group and a workload factory."""
+
+    name: str
+    group: str
+    factory: Callable
+    description: str = ""
+
+    def build(self, profile):
+        """Instantiate the workload for a profile (setup happens here)."""
+        return self.factory(profile)
+
+
+class BenchmarkRegistry:
+    """Keyed collection of benchmarks; duplicate names are an error."""
+
+    def __init__(self) -> None:
+        self._benchmarks: Dict[str, Benchmark] = {}
+
+    def register(self, bench: Benchmark) -> Benchmark:
+        """Add a benchmark; raises ``ValueError`` on a name collision."""
+        if bench.name in self._benchmarks:
+            raise ValueError(
+                f"benchmark name {bench.name!r} already registered "
+                f"(group {self._benchmarks[bench.name].group!r})"
+            )
+        self._benchmarks[bench.name] = bench
+        return bench
+
+    def get(self, name: str) -> Benchmark:
+        """Look a benchmark up by exact name."""
+        try:
+            return self._benchmarks[name]
+        except KeyError:
+            raise KeyError(f"unknown benchmark {name!r}") from None
+
+    def names(self) -> List[str]:
+        """Registered names in sorted order."""
+        return sorted(self._benchmarks)
+
+    def select(self, patterns: Optional[Iterable[str]] = None) -> List[Benchmark]:
+        """Benchmarks whose name contains any of ``patterns`` (all when empty).
+
+        Patterns are plain substrings, so ``--filter floorplan`` selects every
+        benchmark of the floorplan group without regex footguns.
+        """
+        chosen = []
+        pattern_list = [p for p in (patterns or []) if p]
+        for name in self.names():
+            bench = self._benchmarks[name]
+            if not pattern_list or any(p in name for p in pattern_list):
+                chosen.append(bench)
+        return chosen
+
+    def __len__(self) -> int:
+        return len(self._benchmarks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._benchmarks
+
+
+#: The process-wide registry the harness and the CLI run from.
+REGISTRY = BenchmarkRegistry()
+
+
+def benchmark(
+    name: str,
+    group: str | None = None,
+    description: str = "",
+    registry: BenchmarkRegistry | None = None,
+) -> Callable:
+    """Decorator registering a workload factory under ``name``.
+
+    ``group`` defaults to the first dotted component of the name
+    (``"floorplan.sp_relations"`` -> ``"floorplan"``).
+    """
+
+    def decorate(factory: Callable) -> Callable:
+        target = registry if registry is not None else REGISTRY
+        target.register(
+            Benchmark(
+                name=name,
+                group=group or name.split(".", 1)[0],
+                factory=factory,
+                description=description or (factory.__doc__ or "").strip().split("\n")[0],
+            )
+        )
+        return factory
+
+    return decorate

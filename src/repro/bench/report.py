@@ -1,0 +1,231 @@
+"""Schema-versioned JSON snapshots of a benchmark run (``BENCH_<rev>.json``).
+
+The file layout (schema version 1)::
+
+    {
+      "schema_version": 1,
+      "git_rev": "abc1234",
+      "python_version": "3.11.7",
+      "platform": "linux",
+      "profile": "quick",
+      "created_unix": 1753833600,
+      "results": [
+        {
+          "name": "floorplan.sp_relations",
+          "group": "floorplan",
+          "repeats": 5,
+          "warmup": 1,
+          "median_s": 0.0123,
+          "p10_s": 0.0119,
+          "p90_s": 0.0131,
+          "mean_s": 0.0124,
+          "min_s": 0.0118,
+          "units": 1.0,
+          "unit_name": "calls",
+          "throughput": 81.3,
+          "peak_rss_kb": 184320
+        }, ...
+      ]
+    }
+
+Percentiles are linearly interpolated over the sorted samples (the
+``fraction * (n - 1)`` position convention); with a single sample every
+quantile field equals that sample.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.runner import Measurement
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "BenchReport",
+    "git_revision",
+    "default_report_name",
+    "summarize",
+    "load_report",
+    "save_report",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchResult:
+    """Summary statistics of one benchmark."""
+
+    name: str
+    group: str
+    repeats: int
+    warmup: int
+    median_s: float
+    p10_s: float
+    p90_s: float
+    mean_s: float
+    min_s: float
+    units: float
+    unit_name: str
+    throughput: float
+    peak_rss_kb: Optional[int]
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict) -> "BenchResult":
+        fields = {f.name for f in dataclasses.fields(BenchResult)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown benchmark result fields: {sorted(unknown)}")
+        missing = fields - set(data)
+        if missing:
+            raise ValueError(f"missing benchmark result fields: {sorted(missing)}")
+        return BenchResult(**data)
+
+
+@dataclasses.dataclass
+class BenchReport:
+    """One harness run: environment metadata plus per-benchmark summaries."""
+
+    results: List[BenchResult]
+    git_rev: str
+    python_version: str
+    platform: str
+    profile: str
+    created_unix: int
+    schema_version: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    def result(self, name: str) -> BenchResult:
+        """Look a result up by benchmark name."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(f"no result named {name!r} in report")
+
+    def names(self) -> List[str]:
+        return [result.name for result in self.results]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": self.schema_version,
+            "git_rev": self.git_rev,
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "profile": self.profile,
+            "created_unix": self.created_unix,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "BenchReport":
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported benchmark report schema {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        for key in ("git_rev", "python_version", "platform", "profile", "created_unix", "results"):
+            if key not in data:
+                raise ValueError(f"benchmark report missing field {key!r}")
+        return BenchReport(
+            results=[BenchResult.from_dict(entry) for entry in data["results"]],
+            git_rev=data["git_rev"],
+            python_version=data["python_version"],
+            platform=data["platform"],
+            profile=data["profile"],
+            created_unix=int(data["created_unix"]),
+            schema_version=int(version),
+        )
+
+
+# ----------------------------------------------------------------------
+def git_revision(cwd: str | Path | None = None) -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=str(cwd) if cwd else None,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def default_report_name(rev: str | None = None) -> str:
+    """The conventional output filename, ``BENCH_<rev>.json``."""
+    return f"BENCH_{rev or git_revision()}.json"
+
+
+def _quantile(sorted_times: Sequence[float], fraction: float) -> float:
+    if len(sorted_times) == 1:
+        return sorted_times[0]
+    position = fraction * (len(sorted_times) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_times) - 1)
+    weight = position - low
+    return sorted_times[low] * (1.0 - weight) + sorted_times[high] * weight
+
+
+def summarize(measurements: Sequence[Measurement], profile_name: str) -> BenchReport:
+    """Reduce raw measurements into a serializable report."""
+    results = []
+    for measurement in measurements:
+        ordered = sorted(measurement.times)
+        median = statistics.median(ordered)
+        results.append(
+            BenchResult(
+                name=measurement.benchmark.name,
+                group=measurement.benchmark.group,
+                repeats=len(ordered),
+                warmup=measurement.profile.warmup,
+                median_s=median,
+                p10_s=_quantile(ordered, 0.10),
+                p90_s=_quantile(ordered, 0.90),
+                mean_s=statistics.fmean(ordered),
+                min_s=ordered[0],
+                units=measurement.units,
+                unit_name=measurement.unit_name,
+                throughput=measurement.units / median if median > 0 else float("inf"),
+                peak_rss_kb=measurement.peak_rss_kb,
+            )
+        )
+    return BenchReport(
+        results=results,
+        git_rev=git_revision(),
+        python_version=platform.python_version(),
+        platform=sys.platform,
+        profile=profile_name,
+        created_unix=int(time.time()),
+    )
+
+
+def save_report(report: BenchReport, path: str | Path) -> Path:
+    """Write a report as pretty-printed JSON (atomic rename)."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=False) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def load_report(path: str | Path) -> BenchReport:
+    """Read and validate a report file."""
+    with open(path) as handle:
+        return BenchReport.from_dict(json.load(handle))

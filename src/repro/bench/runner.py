@@ -1,0 +1,146 @@
+"""Warmup/repeat/timer protocol for registered benchmarks.
+
+Every benchmark is measured the same way:
+
+1. the factory builds the workload (setup, excluded from timing);
+2. ``warmup`` untimed calls populate caches/JITs/allocator pools;
+3. ``repeats`` timed calls with :func:`time.perf_counter`;
+4. the per-call samples are summarized into median/p10/p90 downstream.
+
+Peak RSS is sampled through :func:`resource.getrusage` after the timed calls.
+``ru_maxrss`` is a process-lifetime high-water mark, so the value attributed
+to one benchmark is "peak RSS observed by the end of this benchmark" — still
+useful for spotting which workload blew the memory budget first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+from typing import Callable, Iterable, List, Optional
+
+from repro.bench.registry import REGISTRY, Benchmark, BenchmarkRegistry
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["BenchProfile", "Workload", "Measurement", "run_benchmark", "run_suite"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchProfile:
+    """How thoroughly to measure: the ``--quick`` / ``--full`` presets."""
+
+    name: str
+    warmup: int
+    repeats: int
+
+    def scaled(self, quick_value: int, full_value: int) -> int:
+        """Pick a problem size for this profile (factories call this)."""
+        return full_value if self.name == "full" else quick_value
+
+    @staticmethod
+    def quick() -> "BenchProfile":
+        """Small inputs, few repeats: CI smoke profile."""
+        return BenchProfile(name="quick", warmup=1, repeats=5)
+
+    @staticmethod
+    def full() -> "BenchProfile":
+        """Larger inputs, more repeats: local performance work."""
+        return BenchProfile(name="full", warmup=3, repeats=15)
+
+    @staticmethod
+    def by_name(name: str) -> "BenchProfile":
+        """Resolve ``"quick"`` / ``"full"`` to a profile."""
+        if name == "quick":
+            return BenchProfile.quick()
+        if name == "full":
+            return BenchProfile.full()
+        raise ValueError(f"unknown profile {name!r} (expected 'quick' or 'full')")
+
+
+@dataclasses.dataclass
+class Workload:
+    """What a benchmark factory returns: the callable plus its unit count.
+
+    ``units`` is how many abstract work units one call performs (events
+    simulated, constraints built, iterations annealed, ...); throughput is
+    reported as ``units / median_seconds``.
+    """
+
+    run: Callable[[], object]
+    units: float = 1.0
+    unit_name: str = "ops"
+    #: Optional per-round teardown (e.g. clearing a cache so rounds are i.i.d.)
+    reset: Optional[Callable[[], None]] = None
+
+
+@dataclasses.dataclass
+class Measurement:
+    """Raw samples of one benchmark run."""
+
+    benchmark: Benchmark
+    profile: BenchProfile
+    times: List[float]
+    units: float
+    unit_name: str
+    peak_rss_kb: Optional[int]
+
+
+def _peak_rss_kb() -> Optional[int]:
+    if resource is None:
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # Linux reports kilobytes, macOS bytes; normalize to kb.
+    maxrss = int(usage.ru_maxrss)
+    if sys.platform == "darwin":
+        maxrss //= 1024
+    return maxrss
+
+
+def run_benchmark(bench: Benchmark, profile: BenchProfile) -> Measurement:
+    """Apply the warmup/repeat protocol to one registered benchmark."""
+    workload = bench.build(profile)
+    if not isinstance(workload, Workload):
+        raise TypeError(
+            f"benchmark {bench.name!r} factory must return a Workload, "
+            f"got {type(workload).__name__}"
+        )
+    for _ in range(profile.warmup):
+        workload.run()
+        if workload.reset is not None:
+            workload.reset()
+    times: List[float] = []
+    for _ in range(profile.repeats):
+        start = time.perf_counter()
+        workload.run()
+        times.append(time.perf_counter() - start)
+        if workload.reset is not None:
+            workload.reset()
+    return Measurement(
+        benchmark=bench,
+        profile=profile,
+        times=times,
+        units=workload.units,
+        unit_name=workload.unit_name,
+        peak_rss_kb=_peak_rss_kb(),
+    )
+
+
+def run_suite(
+    profile: BenchProfile,
+    patterns: Optional[Iterable[str]] = None,
+    registry: BenchmarkRegistry | None = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Measurement]:
+    """Run every selected benchmark of the registry under one profile."""
+    registry = registry if registry is not None else REGISTRY
+    measurements = []
+    for bench in registry.select(patterns):
+        if progress is not None:
+            progress(bench.name)
+        measurements.append(run_benchmark(bench, profile))
+    return measurements

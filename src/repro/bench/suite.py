@@ -1,0 +1,292 @@
+"""The registered benchmark suite.
+
+Importing this module populates :data:`repro.bench.registry.REGISTRY` with
+micro-benchmarks for the floorplanning hot paths plus scenario benchmarks
+covering the same ground as the ``benchmarks/bench_*.py`` scripts (sequence
+pairs, MILP build/lowering/solve, heuristic baselines, the discrete-event
+simulator, the bitstream path and the batch-service sweep machinery).
+
+Sizes are profile-dependent: ``--quick`` stays small enough for a CI smoke
+job, ``--full`` uses inputs large enough to expose asymptotic differences.
+"""
+
+from __future__ import annotations
+
+from repro.bench import scenarios
+from repro.bench.registry import benchmark
+from repro.bench.runner import BenchProfile, Workload
+
+__all__ = ["load"]
+
+
+def load() -> None:
+    """No-op entry point; importing the module registers everything."""
+
+
+# ----------------------------------------------------------------------
+# floorplan: sequence-pair machinery
+# ----------------------------------------------------------------------
+@benchmark("floorplan.sp_from_rects")
+def sp_from_rects(profile: BenchProfile) -> Workload:
+    """Extract a sequence pair from a dense non-overlapping placement."""
+    from repro.floorplan.sequence_pair import SequencePair
+
+    rects = scenarios.random_placement(profile.scaled(40, 120), seed=7)
+    return Workload(lambda: SequencePair.from_rects(rects), units=len(rects), unit_name="rects")
+
+
+@benchmark("floorplan.sp_relations")
+def sp_relations(profile: BenchProfile) -> Workload:
+    """All pairwise relative positions implied by a sequence pair."""
+    from repro.floorplan.sequence_pair import SequencePair
+
+    rects = scenarios.random_placement(profile.scaled(40, 120), seed=11)
+    pair = SequencePair.from_rects(rects)
+
+    def run():
+        return pair.relations()
+
+    return Workload(run, units=len(rects) * (len(rects) - 1), unit_name="pairs")
+
+
+@benchmark("floorplan.sp_consistency")
+def sp_consistency(profile: BenchProfile) -> Workload:
+    """Check a placement against every relation of its sequence pair."""
+    from repro.floorplan.sequence_pair import SequencePair
+
+    rects = scenarios.random_placement(profile.scaled(40, 120), seed=13)
+    pair = SequencePair.from_rects(rects)
+
+    def run():
+        assert pair.is_consistent_with(rects)
+
+    return Workload(run, units=len(rects) * (len(rects) - 1), unit_name="pairs")
+
+
+@benchmark("floorplan.sp_packing")
+def sp_packing(profile: BenchProfile) -> Workload:
+    """Evaluate a sequence pair into packed coordinates (weighted-LCS)."""
+    from repro.floorplan.sequence_pair import SequencePair
+
+    rects = scenarios.random_placement(profile.scaled(40, 120), seed=17)
+    pair = SequencePair.from_rects(rects)
+    widths = {name: rect.width for name, rect in rects.items()}
+    heights = {name: rect.height for name, rect in rects.items()}
+    return Workload(
+        lambda: pair.pack(widths, heights), units=len(rects), unit_name="rects"
+    )
+
+
+@benchmark("floorplan.milp_build")
+def milp_build(profile: BenchProfile) -> Workload:
+    """Build the full occupancy-grid MILP for a mid-size problem."""
+    from repro.floorplan.milp_builder import build_floorplan_milp
+
+    problem = scenarios.scaling_problem(profile.scaled(16, 33))
+    stats = build_floorplan_milp(problem).model.stats()
+    return Workload(
+        lambda: build_floorplan_milp(problem),
+        units=stats.num_constraints,
+        unit_name="constraints",
+    )
+
+
+@benchmark("floorplan.ho_seed")
+def ho_seed(profile: BenchProfile) -> Workload:
+    """Heuristic seed + sequence-pair extraction (the HO front half)."""
+    from repro.floorplan.ho import HOSeeder
+
+    problem = scenarios.small_problem("ho-seed")
+    seeder = HOSeeder(problem)
+
+    def run():
+        return seeder.build_seed().fixed_relations()
+
+    return Workload(run, units=1, unit_name="seeds")
+
+
+# ----------------------------------------------------------------------
+# milp: lowering and solving
+# ----------------------------------------------------------------------
+@benchmark("milp.matrix_form")
+def milp_matrix_form(profile: BenchProfile) -> Workload:
+    """Lower a built floorplanning model to sparse matrix form."""
+    from repro.floorplan.milp_builder import build_floorplan_milp
+
+    problem = scenarios.scaling_problem(profile.scaled(16, 33), name="lowering")
+    model = build_floorplan_milp(problem).model
+    nnz = model.stats().num_nonzeros
+    return Workload(lambda: model.to_matrix_form(), units=nnz, unit_name="nonzeros")
+
+
+@benchmark("milp.solve_small")
+def milp_solve_small(profile: BenchProfile) -> Workload:
+    """End-to-end HO solve of the small ablation problem via HiGHS."""
+    from repro.floorplan import FloorplanSolver, ObjectiveWeights
+    from repro.milp import SolverOptions
+
+    problem = scenarios.small_problem("solve-small")
+    options = SolverOptions(time_limit=scenarios.bench_time_limit(30.0), mip_gap=0.05)
+
+    def run():
+        report = FloorplanSolver(problem, mode="HO", options=options).solve(
+            weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0)
+        )
+        assert report.solution.status.has_solution
+        return report
+
+    return Workload(run, units=1, unit_name="solves")
+
+
+# ----------------------------------------------------------------------
+# baselines: heuristic floorplanners
+# ----------------------------------------------------------------------
+@benchmark("baselines.annealing")
+def annealing(profile: BenchProfile) -> Workload:
+    """Simulated annealing on the small ablation problem."""
+    from repro.baselines.annealing import AnnealingOptions, annealing_floorplan
+
+    problem = scenarios.small_problem("anneal-bench")
+    iterations = profile.scaled(4000, 20000)
+    options = AnnealingOptions(iterations=iterations, seed=1)
+
+    def run():
+        floorplan = annealing_floorplan(problem, options)
+        assert floorplan is not None
+        return floorplan
+
+    return Workload(run, units=iterations, unit_name="moves")
+
+
+@benchmark("baselines.first_fit")
+def first_fit(profile: BenchProfile) -> Workload:
+    """First-fit greedy placement."""
+    from repro.baselines.first_fit import first_fit_floorplan
+
+    problem = scenarios.small_problem("ff-bench")
+    return Workload(lambda: first_fit_floorplan(problem), units=1, unit_name="plans")
+
+
+@benchmark("baselines.tessellation")
+def tessellation(profile: BenchProfile) -> Workload:
+    """Kernel-tessellation placement (the [8]-style baseline)."""
+    from repro.baselines.tessellation import tessellation_floorplan
+
+    problem = scenarios.small_problem("tess-bench")
+    return Workload(lambda: tessellation_floorplan(problem), units=1, unit_name="plans")
+
+
+# ----------------------------------------------------------------------
+# sim: discrete-event simulator
+# ----------------------------------------------------------------------
+@benchmark("sim.poisson_events")
+def sim_poisson(profile: BenchProfile) -> Workload:
+    """Events/sec under steady Poisson load with the in-place policy."""
+    from repro.runtime import ReconfigurationManager
+    from repro.sim import PoissonTraffic, ReconfigureInPlace, SimConfig, SimulationEngine
+
+    floorplan = scenarios.sim_floorplan()
+    horizon = float(profile.scaled(100, 500))
+
+    def run():
+        engine = SimulationEngine(
+            ReconfigurationManager(floorplan),
+            traffic=PoissonTraffic(["A", "B"], rate=10.0, seed=0),
+            policy=ReconfigureInPlace(),
+            config=SimConfig(horizon=horizon, seconds_per_frame=1e-4),
+        )
+        result = engine.run()
+        # deterministic (seeded), so every run observes the same count; the
+        # warmup run fills this in before the timed rounds are summarized
+        workload.units = float(result.events_processed)
+        return result
+
+    workload = Workload(run, units=1.0, unit_name="events")
+    return workload
+
+
+# ----------------------------------------------------------------------
+# bitstream: generation and relocation filter
+# ----------------------------------------------------------------------
+@benchmark("bitstream.generate")
+def bitstream_generate(profile: BenchProfile) -> Workload:
+    """Generate a partial bitstream for a 4x4 module."""
+    from repro.bitstream import generate_bitstream
+    from repro.device.catalog import synthetic_device
+    from repro.floorplan.geometry import Rect
+
+    device = synthetic_device(16, 8, bram_every=5, dsp_every=9, name="gen-dev")
+    rect = Rect(0, 0, 4, 4)
+    return Workload(
+        lambda: generate_bitstream(device, rect, "throughput-module"),
+        units=1,
+        unit_name="bitstreams",
+    )
+
+
+@benchmark("bitstream.relocate")
+def bitstream_relocate(profile: BenchProfile) -> Workload:
+    """Run the relocation filter on a generated bitstream."""
+    from repro.bitstream import generate_bitstream, relocate_bitstream
+    from repro.device.catalog import synthetic_device
+    from repro.device.partition import columnar_partition
+    from repro.floorplan.geometry import Rect
+
+    device = synthetic_device(16, 8, bram_every=5, dsp_every=9, name="filter-dev")
+    partition = columnar_partition(device)
+    source = generate_bitstream(device, Rect(0, 0, 3, 3), "reloc-module")
+    target = Rect(0, 4, 3, 3)
+    return Workload(
+        lambda: relocate_bitstream(source, target, device, partition),
+        units=1,
+        unit_name="relocations",
+    )
+
+
+# ----------------------------------------------------------------------
+# service: job canonicalization / sweep construction
+# ----------------------------------------------------------------------
+@benchmark("service.sweep_build")
+def service_sweep_build(profile: BenchProfile) -> Workload:
+    """Build the 8-job sweep grid (workload generation + job specs)."""
+    jobs = scenarios.throughput_sweep_jobs(time_limit=5.0)
+    count = len(jobs)
+    return Workload(
+        lambda: scenarios.throughput_sweep_jobs(time_limit=5.0),
+        units=count,
+        unit_name="jobs",
+    )
+
+
+@benchmark("service.fingerprint")
+def service_fingerprint(profile: BenchProfile) -> Workload:
+    """Content-hash the sweep jobs (cache-key canonicalization)."""
+    jobs = scenarios.throughput_sweep_jobs(time_limit=5.0)
+
+    def run():
+        for job in jobs:
+            job._fingerprint = None  # force re-canonicalization
+            _ = job.fingerprint
+
+    return Workload(run, units=len(jobs), unit_name="jobs")
+
+
+# ----------------------------------------------------------------------
+# runtime: reconfiguration manager
+# ----------------------------------------------------------------------
+@benchmark("runtime.reconfigure")
+def runtime_reconfigure(profile: BenchProfile) -> Workload:
+    """Round-robin mode swaps through the reconfiguration manager."""
+    from repro.runtime import ReconfigurationManager, round_robin_schedule
+
+    floorplan = scenarios.sim_floorplan("runtime-bench")
+    rounds = profile.scaled(5, 20)
+    steps = list(round_robin_schedule(list(floorplan.placements), rounds=rounds))
+
+    def run():
+        manager = ReconfigurationManager(floorplan)
+        for region, mode in steps:
+            manager.reconfigure(region, mode)
+        return manager
+
+    return Workload(run, units=len(steps), unit_name="reconfigs")

@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.bitstream.bitstream import PartialBitstream
-from repro.bitstream.frames import FrameAddress
 from repro.device.grid import FPGADevice
 from repro.device.partition import ColumnarPartition
 from repro.floorplan.geometry import Rect

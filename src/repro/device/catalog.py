@@ -24,7 +24,7 @@ provided for the scaling benchmarks and the examples.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

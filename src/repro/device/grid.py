@@ -181,6 +181,31 @@ class FPGADevice:
         self._check_cell(col, row)
         return bool(self._forbidden_mask[col, row])
 
+    # ------------------------------------------------------------------
+    # rectangle aggregates (vectorized hot paths for placers/annealers)
+    # ------------------------------------------------------------------
+    def tile_type_histogram(self, col: int, row: int, width: int, height: int) -> List[int]:
+        """Tiles of each dense type index inside a rectangle (one numpy pass).
+
+        The rectangle must lie within the device.  Index ``i`` of the result
+        counts tiles whose type is ``tile_type_list[i]`` — the building block
+        of :func:`repro.baselines.packing.rect_resources` and the annealer's
+        incremental cost updates, replacing the per-cell ``tile_type_at``
+        loop.
+        """
+        self._check_cell(col, row)
+        self._check_cell(col + width - 1, row + height - 1)
+        window = self._grid[col : col + width, row : row + height]
+        return np.bincount(window.ravel(), minlength=len(self._type_list)).tolist()
+
+    def forbidden_cell_count(self, col: int, row: int, width: int, height: int) -> int:
+        """Forbidden cells inside a rectangle (one numpy pass)."""
+        self._check_cell(col, row)
+        self._check_cell(col + width - 1, row + height - 1)
+        return int(
+            self._forbidden_mask[col : col + width, row : row + height].sum()
+        )
+
     def forbidden_cells(self) -> Iterator[Tuple[int, int]]:
         """Iterate all forbidden ``(col, row)`` cells."""
         cols, rows = np.nonzero(self._forbidden_mask)

@@ -18,7 +18,7 @@ the FPGA cannot be columnar partitioned" — is reproduced exactly.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -35,7 +35,7 @@ from repro.floorplan.metrics import ObjectiveWeights, normalization_constants
 from repro.floorplan.placement import Floorplan, RegionPlacement
 from repro.floorplan.problem import FloorplanProblem
 from repro.floorplan import sequence_pair as sp
-from repro.milp import LinExpr, Model, Variable, VarType, quicksum
+from repro.milp import LinExpr, Model, Variable, quicksum
 from repro.milp.solution import MILPSolution
 
 
@@ -279,8 +279,8 @@ def build_floorplan_milp(
 
         w_expr[name] = quicksum(col_cover[name])
         h_expr[name] = quicksum(row_cover[name])
-        x_expr[name] = quicksum(j * col_start[name][j] for j in range(width))
-        y_expr[name] = quicksum(r * row_start[name][r] for r in range(height))
+        x_expr[name] = LinExpr({var: float(j) for j, var in enumerate(col_start[name])})
+        y_expr[name] = LinExpr({var: float(r) for r, var in enumerate(row_start[name])})
 
         if area.max_width is not None:
             model.add(w_expr[name] <= area.max_width, name=f"maxw[{key}]")
@@ -293,29 +293,42 @@ def build_floorplan_milp(
             k = model.add_binary(f"k[{key},{portion.index}]")
             portion_cols = [col_cover[name][j] for j in portion.columns()]
             for j, var in zip(portion.columns(), portion_cols):
-                model.add(k >= var, name=f"kge[{key},{portion.index},{j}]")
-            model.add(k <= quicksum(portion_cols), name=f"kle[{key},{portion.index}]")
+                model.add_ge_terms(
+                    {k: 1.0, var: -1.0}, 0.0, name=f"kge[{key},{portion.index},{j}]"
+                )
+            kle_terms = {var: -1.0 for var in portion_cols}
+            kle_terms[k] = 1.0
+            model.add_le_terms(kle_terms, 0.0, name=f"kle[{key},{portion.index}]")
             k_vars[name].append(k)
 
-        # l[n,p,r]: exact tiles of portion p covered on row r
+        # l[n,p,r]: exact tiles of portion p covered on row r.  The three
+        # linearization constraints per (portion, row) dominate the model; they
+        # are emitted through the coefficient-dict fast path from a per-portion
+        # template of the covered-width terms.
         l_vars[name] = []
         tiles_in_portion[name] = []
         for portion in portions:
             row_list: List[Variable] = []
             portion_width = portion.width
-            wcol = quicksum(col_cover[name][j] for j in portion.columns())
+            neg_wcol = {col_cover[name][j]: -1.0 for j in portion.columns()}
             for r in range(height):
                 l = model.add_continuous(
                     f"l[{key},{portion.index},{r}]", lb=0.0, ub=float(portion_width)
                 )
                 arow = row_cover[name][r]
-                model.add(l <= wcol, name=f"l_le_w[{key},{portion.index},{r}]")
-                model.add(
-                    l <= portion_width * arow,
+                model.add_le_terms(
+                    {l: 1.0, **neg_wcol},
+                    0.0,
+                    name=f"l_le_w[{key},{portion.index},{r}]",
+                )
+                model.add_le_terms(
+                    {l: 1.0, arow: -float(portion_width)},
+                    0.0,
                     name=f"l_le_a[{key},{portion.index},{r}]",
                 )
-                model.add(
-                    l >= wcol - portion_width * (1 - arow),
+                model.add_ge_terms(
+                    {l: 1.0, arow: -float(portion_width), **neg_wcol},
+                    -float(portion_width),
                     name=f"l_ge[{key},{portion.index},{r}]",
                 )
                 row_list.append(l)
@@ -330,8 +343,9 @@ def build_floorplan_milp(
 
         # forbidden cells
         for fcol, frow in partition.forbidden_cells():
-            model.add(
-                col_cover[name][fcol] + row_cover[name][frow] <= 1,
+            model.add_le_terms(
+                {col_cover[name][fcol]: 1.0, row_cover[name][frow]: 1.0},
+                1.0,
                 name=f"forbid[{key},{fcol},{frow}]",
             )
 
@@ -429,14 +443,19 @@ def _add_contiguity(
     """Force the covered indices to form exactly one non-empty contiguous run."""
     model.add(quicksum(start) == 1, name=f"{label}:one_start")
     for idx, (c, s) in enumerate(zip(cover, start)):
-        model.add(c >= s, name=f"{label}:cover_ge_start[{idx}]")
+        model.add_ge_terms({c: 1.0, s: -1.0}, 0.0, name=f"{label}:cover_ge_start[{idx}]")
         if idx == 0:
-            model.add(c <= s, name=f"{label}:first")
+            model.add_le_terms({c: 1.0, s: -1.0}, 0.0, name=f"{label}:first")
         else:
-            model.add(c <= cover[idx - 1] + s, name=f"{label}:chain[{idx}]")
-        # a start at idx forbids coverage of idx-1 (the run cannot begin twice)
-        if idx > 0:
-            model.add(cover[idx - 1] + s <= 1, name=f"{label}:no_restart[{idx}]")
+            model.add_le_terms(
+                {c: 1.0, cover[idx - 1]: -1.0, s: -1.0},
+                0.0,
+                name=f"{label}:chain[{idx}]",
+            )
+            # a start at idx forbids coverage of idx-1 (the run cannot begin twice)
+            model.add_le_terms(
+                {cover[idx - 1]: 1.0, s: 1.0}, 1.0, name=f"{label}:no_restart[{idx}]"
+            )
 
 
 def _add_non_overlap(

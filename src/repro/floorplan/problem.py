@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.device.grid import FPGADevice
 from repro.device.partition import ColumnarPartition, columnar_partition
 from repro.device.resources import ResourceType, ResourceVector
-from repro.device.tile import TileType
 
 
 @dataclasses.dataclass(frozen=True)

@@ -106,7 +106,6 @@ def apply_relocation_constraints(milp: FloorplanMILP) -> RelocationVariables:
         soft = area_spec.soft
         violation = milp.violation.get(area_name) if soft else None
         akey = _sanitize(area_name)
-        rkey = _sanitize(region_name)
 
         # eq. 6: equal heights
         _add_soft_equality(

@@ -26,7 +26,7 @@ every row against the table above.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.device.catalog import virtex5_fx70t_like
 from repro.device.grid import FPGADevice

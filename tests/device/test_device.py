@@ -186,3 +186,49 @@ class TestValidation:
         device = FPGADevice.from_columns("homog", [CLB] * 4, height=3)
         warnings = validate_device(device)
         assert any("homogeneous" in w for w in warnings)
+
+
+class TestRectangleAggregates:
+    """The vectorized rectangle queries must match per-cell loops exactly."""
+
+    @pytest.fixture(scope="class")
+    def device(self):
+        return synthetic_device(
+            12, 6, bram_every=4, dsp_every=9, forbidden_blocks=2, seed=5, name="agg"
+        )
+
+    def test_tile_type_histogram_matches_cell_loop(self, device):
+        for col, row, width, height in [
+            (0, 0, 1, 1),
+            (0, 0, device.width, device.height),
+            (3, 1, 5, 4),
+            (8, 2, 4, 3),
+        ]:
+            histogram = device.tile_type_histogram(col, row, width, height)
+            expected = [0] * len(device.tile_type_list)
+            for c in range(col, col + width):
+                for r in range(row, row + height):
+                    expected[device.type_index_at(c, r)] += 1
+            assert histogram == expected
+            assert sum(histogram) == width * height
+
+    def test_forbidden_cell_count_matches_cell_loop(self, device):
+        for col, row, width, height in [
+            (0, 0, device.width, device.height),
+            (2, 0, 6, 5),
+            (5, 3, 3, 2),
+        ]:
+            count = device.forbidden_cell_count(col, row, width, height)
+            expected = sum(
+                1
+                for c in range(col, col + width)
+                for r in range(row, row + height)
+                if device.is_forbidden(c, r)
+            )
+            assert count == expected
+
+    def test_out_of_bounds_rectangles_rejected(self, device):
+        with pytest.raises(IndexError):
+            device.tile_type_histogram(0, 0, device.width + 1, 1)
+        with pytest.raises(IndexError):
+            device.forbidden_cell_count(device.width - 1, 0, 2, 1)

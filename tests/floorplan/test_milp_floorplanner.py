@@ -6,10 +6,10 @@ solver runs stay in the seconds range.
 
 import pytest
 
-from repro.floorplan import FloorplanSolver, ObjectiveWeights, SequencePair, verify_floorplan
+from repro.floorplan import FloorplanSolver, ObjectiveWeights
 from repro.floorplan.milp_builder import AreaSpec, build_floorplan_milp
 from repro.floorplan.ho import HOSeeder
-from repro.milp import SolverOptions, SolveStatus, solve
+from repro.milp import SolveStatus
 
 
 class TestMilpBuilder:

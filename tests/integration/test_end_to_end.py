@@ -1,10 +1,7 @@
 """End-to-end integration tests: floorplan -> verify -> bitstreams -> relocate."""
 
-import pytest
-
 from repro.floorplan import FloorplanSolver, verify_floorplan
 from repro.floorplan.metrics import evaluate_floorplan
-from repro.milp import SolverOptions
 from repro.relocation import RelocationSpec
 from repro.relocation.metric import satisfied_areas_by_region
 from repro.runtime import ReconfigurationManager

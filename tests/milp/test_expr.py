@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.milp import Constraint, LinExpr, Model, Sense, Variable, VarType, quicksum
+from repro.milp import Constraint, Model, Sense, quicksum
 from repro.milp.expr import as_expr
 
 

@@ -10,7 +10,6 @@ from repro.milp import (
     MILPSolution,
     SolveStatus,
     SolverOptions,
-    VarType,
     quicksum,
     solve,
 )

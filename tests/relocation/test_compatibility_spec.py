@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.device import ResourceVector
 from repro.floorplan import Rect
 from repro.relocation import (
     RelocationRequest,

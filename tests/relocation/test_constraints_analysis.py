@@ -4,7 +4,6 @@ import pytest
 
 from repro.floorplan import FloorplanSolver, verify_floorplan
 from repro.floorplan.milp_builder import build_floorplan_milp
-from repro.milp import SolverOptions, SolveStatus
 from repro.relocation import (
     RelocationSpec,
     apply_relocation_constraints,
