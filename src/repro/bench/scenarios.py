@@ -22,8 +22,10 @@ from repro.floorplan.problem import Connection, FloorplanProblem, Region
 
 __all__ = [
     "bench_time_limit",
+    "milp_legacy_mode",
     "small_problem",
     "scaling_problem",
+    "pruning_problem",
     "relocation_problem",
     "sim_floorplan",
     "throughput_sweep_jobs",
@@ -35,6 +37,19 @@ __all__ = [
 def bench_time_limit(default: float = 60.0) -> float:
     """Per-solve MILP time limit honoured by every benchmark scenario."""
     return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", default))
+
+
+def milp_legacy_mode() -> bool:
+    """Whether the ``milp.*`` benchmarks should run the pre-optimization path.
+
+    Setting ``REPRO_MILP_LEGACY=1`` makes each factory disable exactly the
+    optimization it measures: ``milp.bb_warmstart`` drops presolve and the
+    warm-start machinery (textbook branch and bound, same pruned model), and
+    ``floorplan.milp_build_pruned`` builds the unpruned model.  The resulting
+    snapshot is the "pre" half of the committed
+    ``benchmarks/baselines/BENCH_milp_pipeline_{pre,post}.json`` pair.
+    """
+    return os.environ.get("REPRO_MILP_LEGACY", "") not in ("", "0")
 
 
 def small_problem(name: str = "ablation") -> FloorplanProblem:
@@ -63,6 +78,32 @@ def scaling_problem(width: int, name: str | None = None) -> FloorplanProblem:
         Region("C", ResourceVector(CLB=2)),
     ]
     return FloorplanProblem(device, regions, name=name)
+
+
+def pruning_problem(width: int = 64, name: str | None = None) -> FloorplanProblem:
+    """Resource-pinned regions with tight extent caps on a wide device.
+
+    Every region is tied to a scarce column type (DSP every 11 columns, BRAM
+    every 7) with ``max_width`` caps of one or two columns, so most
+    region x placement candidates are geometrically infeasible — the workload
+    where the feasible-placement pruning of
+    :func:`repro.floorplan.milp_builder.build_floorplan_milp` shrinks the
+    model the most (mirroring the scarce-DSP structure of the SDR study).
+    """
+    name = name or f"prune-{width}"
+    device = synthetic_device(width, 10, bram_every=7, dsp_every=11, name=f"{name}-dev")
+    regions = [
+        Region("dsp_a", ResourceVector(DSP=4), max_width=1),
+        Region("dsp_b", ResourceVector(DSP=6), max_width=1),
+        Region("bram_a", ResourceVector(BRAM=4), max_width=1),
+        Region("bram_b", ResourceVector(BRAM=6), max_width=1),
+        Region("dsp_c", ResourceVector(DSP=2), max_width=1),
+    ]
+    connections = [
+        Connection("dsp_a", "bram_a", weight=8),
+        Connection("dsp_b", "dsp_c", weight=8),
+    ]
+    return FloorplanProblem(device, regions, connections, name=name)
 
 
 def relocation_problem(name: str = "rt") -> FloorplanProblem:

@@ -91,6 +91,25 @@ def milp_build(profile: BenchProfile) -> Workload:
     )
 
 
+@benchmark("floorplan.milp_build_pruned")
+def milp_build_pruned(profile: BenchProfile) -> Workload:
+    """Build the occupancy-grid MILP with feasible-placement pruning.
+
+    ``REPRO_MILP_LEGACY=1`` builds the unpruned model instead, giving the
+    pre-optimization half of the committed snapshot pair.
+    """
+    from repro.floorplan.milp_builder import build_floorplan_milp
+
+    prune = not scenarios.milp_legacy_mode()
+    problem = scenarios.pruning_problem(profile.scaled(80, 96))
+    stats = build_floorplan_milp(problem, prune=prune).model.stats()
+    return Workload(
+        lambda: build_floorplan_milp(problem, prune=prune),
+        units=stats.num_constraints,
+        unit_name="constraints",
+    )
+
+
 @benchmark("floorplan.ho_seed")
 def ho_seed(profile: BenchProfile) -> Workload:
     """Heuristic seed + sequence-pair extraction (the HO front half)."""
@@ -117,6 +136,54 @@ def milp_matrix_form(profile: BenchProfile) -> Workload:
     model = build_floorplan_milp(problem).model
     nnz = model.stats().num_nonzeros
     return Workload(lambda: model.to_matrix_form(), units=nnz, unit_name="nonzeros")
+
+
+@benchmark("milp.presolve")
+def milp_presolve(profile: BenchProfile) -> Workload:
+    """Presolve the lowered floorplanning model (reductions + postsolve map)."""
+    from repro.floorplan.milp_builder import build_floorplan_milp
+    from repro.milp import presolve
+
+    problem = scenarios.scaling_problem(profile.scaled(16, 33), name="presolve")
+    form = build_floorplan_milp(problem).model.to_matrix_form()
+    nnz = int(form.constraint_matrix.nnz)
+    return Workload(lambda: presolve(form), units=nnz, unit_name="nonzeros")
+
+
+@benchmark("milp.bb_warmstart")
+def milp_bb_warmstart(profile: BenchProfile) -> Workload:
+    """Branch-and-bound solve of the prebuilt HO ablation model.
+
+    The HO model is built (and seeded) once in setup so the timed section
+    measures the solver alone.  ``REPRO_MILP_LEGACY=1`` reverts to the
+    textbook configuration (no presolve, most-fractional branching, no
+    heuristics, per-node constraint split) so the committed pre/post
+    snapshots measure the same workload on both paths.
+    """
+    from repro.floorplan import ObjectiveWeights
+    from repro.floorplan.ho import HOSeeder
+    from repro.floorplan.milp_builder import build_floorplan_milp
+    from repro.milp import SolverOptions, solve
+
+    legacy = scenarios.milp_legacy_mode()
+    problem = scenarios.small_problem("bb-warm")
+    seed = HOSeeder(problem).build_seed()
+    milp = build_floorplan_milp(problem, fixed_relations=seed.fixed_relations())
+    milp.set_objective(ObjectiveWeights(wirelength=0.0, wasted_frames=1.0))
+    options = SolverOptions(
+        backend="branch-bound",
+        time_limit=scenarios.bench_time_limit(60.0),
+        mip_gap=0.05,
+        presolve=not legacy,
+        warm_start=not legacy,
+    )
+
+    def run():
+        solution = solve(milp.model, options)
+        assert solution.status.has_solution
+        return solution
+
+    return Workload(run, units=1, unit_name="solves")
 
 
 @benchmark("milp.solve_small")

@@ -206,6 +206,19 @@ class FPGADevice:
             self._forbidden_mask[col : col + width, row : row + height].sum()
         )
 
+    def type_index_grid(self) -> np.ndarray:
+        """Dense tile-type indices as a ``(width, height)`` array (copy).
+
+        Feeds vectorized geometry passes (prefix-sum placement enumeration in
+        :mod:`repro.floorplan.milp_builder`) that would otherwise loop over
+        :meth:`type_index_at` cell by cell.
+        """
+        return self._grid.copy()
+
+    def forbidden_mask(self) -> np.ndarray:
+        """Boolean forbidden-cell mask as a ``(width, height)`` array (copy)."""
+        return self._forbidden_mask.copy()
+
     def forbidden_cells(self) -> Iterator[Tuple[int, int]]:
         """Iterate all forbidden ``(col, row)`` cells."""
         cols, rows = np.nonzero(self._forbidden_mask)

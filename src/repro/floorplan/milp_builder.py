@@ -28,6 +28,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.device.grid import FPGADevice
 from repro.device.partition import ColumnarPartition
 from repro.device.resources import ResourceVector
 from repro.floorplan.geometry import Rect
@@ -35,8 +38,214 @@ from repro.floorplan.metrics import ObjectiveWeights, normalization_constants
 from repro.floorplan.placement import Floorplan, RegionPlacement
 from repro.floorplan.problem import FloorplanProblem
 from repro.floorplan import sequence_pair as sp
-from repro.milp import LinExpr, Model, Variable, quicksum
+from repro.milp import LinExpr, Model, Variable, VarType, quicksum
 from repro.milp.solution import MILPSolution
+
+#: Ceiling on elementwise work of the placement enumerator; above it pruning
+#: is skipped for the area (masks stay all-true) rather than risking a mask
+#: pass slower than the model build it is meant to accelerate.
+PRUNE_WORK_LIMIT = 50_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementMasks:
+    """Which columns/rows of the device an area can possibly occupy.
+
+    Produced by :func:`feasible_placement_masks`: an entry is ``True`` when at
+    least one *feasible placement candidate* — a rectangle satisfying the
+    area's hard constraints (resource coverage, forbidden-cell avoidance,
+    extent caps) — covers that column/row (``col_cover``/``row_cover``) or has
+    its bottom-left corner there (``col_start``/``row_start``).  Variables at
+    ``False`` positions are zero in every feasible solution of the full MILP,
+    so the builder creates them fixed and skips their constraints.
+    """
+
+    col_cover: np.ndarray
+    col_start: np.ndarray
+    row_cover: np.ndarray
+    row_start: np.ndarray
+    candidates: int
+
+    @property
+    def prunes_anything(self) -> bool:
+        """Whether any position was ruled out."""
+        return not (
+            bool(self.col_cover.all())
+            and bool(self.col_start.all())
+            and bool(self.row_cover.all())
+            and bool(self.row_start.all())
+        )
+
+    @staticmethod
+    def all_true(width: int, height: int) -> "PlacementMasks":
+        """Masks that prune nothing (pruning disabled or skipped)."""
+        return PlacementMasks(
+            col_cover=np.ones(width, dtype=bool),
+            col_start=np.ones(width, dtype=bool),
+            row_cover=np.ones(height, dtype=bool),
+            row_start=np.ones(height, dtype=bool),
+            candidates=-1,
+        )
+
+
+def _prefix2d(values: np.ndarray) -> np.ndarray:
+    """Zero-padded 2D prefix sums (summed-area table)."""
+    padded = np.zeros((values.shape[0] + 1, values.shape[1] + 1))
+    padded[1:, 1:] = values.cumsum(axis=0).cumsum(axis=1)
+    return padded
+
+
+def _window_sums(strip: np.ndarray, h: int) -> np.ndarray:
+    """Sums of every ``h``-row window from a per-column row-cumsum strip."""
+    top = strip[:, h - 1 :]
+    out = top.copy()
+    if h < strip.shape[1]:
+        out[:, 1:] -= strip[:, : strip.shape[1] - h]
+    return out
+
+
+class _PruneTables:
+    """Device-invariant summed-area tables shared across the areas of a build.
+
+    ``build_floorplan_milp`` constructs one instance per build so the
+    forbidden-cell prefix, the type-index grid and the per-resource-type
+    prefixes are each computed once instead of once per area.
+    """
+
+    def __init__(self, device: FPGADevice) -> None:
+        self.device = device
+        self.forbidden_prefix = _prefix2d(device.forbidden_mask().astype(np.float64))
+        self._type_grid: "np.ndarray | None" = None
+        self._rtype_prefixes: Dict[object, Tuple[np.ndarray, float]] = {}
+        self._forbidden_strips: Dict[int, np.ndarray] = {}
+        self._rtype_strips: Dict[Tuple[object, int], np.ndarray] = {}
+
+    def forbidden_strip(self, w: int) -> np.ndarray:
+        """Row-cumulative forbidden-cell sums over every ``w``-column window."""
+        strip = self._forbidden_strips.get(w)
+        if strip is None:
+            strip = self.forbidden_prefix[w:, 1:] - self.forbidden_prefix[:-w, 1:]
+            self._forbidden_strips[w] = strip
+        return strip
+
+    def rtype_prefix(self, rtype) -> Tuple[np.ndarray, float]:
+        """Prefix table and max per-cell density for one resource type."""
+        cached = self._rtype_prefixes.get(rtype)
+        if cached is None:
+            if self._type_grid is None:
+                self._type_grid = self.device.type_index_grid()
+            per_type = np.array(
+                [tt.resources.get(rtype) for tt in self.device.tile_type_list],
+                dtype=np.float64,
+            )
+            cached = (_prefix2d(per_type[self._type_grid]), float(per_type.max()))
+            self._rtype_prefixes[rtype] = cached
+        return cached
+
+    def rtype_strip(self, rtype, w: int) -> np.ndarray:
+        """Row-cumulative resource sums over every ``w``-column window.
+
+        Depends only on (resource type, width), so areas sharing a scarce
+        type reuse the same strip instead of rebuilding it per area.
+        """
+        strip = self._rtype_strips.get((rtype, w))
+        if strip is None:
+            prefix, _ = self.rtype_prefix(rtype)
+            strip = prefix[w:, 1:] - prefix[:-w, 1:]
+            self._rtype_strips[(rtype, w)] = strip
+        return strip
+
+
+def feasible_placement_masks(
+    device: FPGADevice,
+    area: AreaSpec,
+    work_limit: int = PRUNE_WORK_LIMIT,
+    tables: "_PruneTables | None" = None,
+) -> PlacementMasks:
+    """Enumerate feasible placement candidates of ``area`` on ``device``.
+
+    This is the vectorized analogue of the paper's explicit placement
+    generation: every candidate rectangle ``(x, y, w, h)`` (with ``w``/``h``
+    capped by the area's extent limits) is checked in one numpy pass per
+    shape, using summed-area tables over the tile-type grid — the same
+    aggregation :meth:`FPGADevice.tile_type_histogram` performs for a single
+    rectangle.  A candidate survives when it
+
+    * contains no forbidden cell (hard for every area, soft or not), and
+    * supplies the area's resource requirements by itself.
+
+    Both checks are *necessary* conditions enforced exactly by the MILP, so
+    discarding positions no candidate touches never changes the feasible set.
+    When the total work would exceed ``work_limit`` elementwise operations the
+    enumeration is skipped and all-true masks are returned.
+    """
+    width, height = device.width, device.height
+    wmax = min(width, area.max_width or width)
+    hmax = min(height, area.max_height or height)
+
+    if wmax * hmax * width * height > work_limit:
+        return PlacementMasks.all_true(width, height)
+
+    # Even on uncapped areas the enumeration pays for itself: the handful of
+    # start positions it rules out near device edges tightens the exact model
+    # enough to matter in the solve, which dwarfs the milliseconds spent here.
+    if tables is None:
+        tables = _PruneTables(device)
+
+    requirements: List[Tuple[object, float]] = []
+    min_cells = 0.0
+    if not area.is_free_area:
+        for rtype, required in area.requirements:
+            if required <= 0:
+                continue
+            _, density = tables.rtype_prefix(rtype)
+            requirements.append((rtype, float(required)))
+            # a rect of A cells supplies at most A * max_density of the type,
+            # giving a lower bound on the candidate area worth enumerating
+            if density > 0:
+                min_cells = max(min_cells, float(required) / density)
+
+    col_cover_diff = np.zeros(width + 1, dtype=np.int64)
+    row_cover_diff = np.zeros(height + 1, dtype=np.int64)
+    col_start = np.zeros(width, dtype=bool)
+    row_start = np.zeros(height, dtype=bool)
+    candidates = 0
+
+    for w in range(1, wmax + 1):
+        # collapse the column dimension once per width: a strip[x, y] is the
+        # row-cumulative sum over columns x .. x+w-1, so every height then
+        # costs one O(nx*ny) pass instead of a 2D prefix lookup; strips are
+        # device-invariant per (grid, width) and cached across areas
+        strips = [tables.forbidden_strip(w)] + [
+            tables.rtype_strip(rtype, w) for rtype, _ in requirements
+        ]
+        thresholds = [0.0] + [required for _, required in requirements]
+        min_h = max(1, int(np.ceil(min_cells / w)))
+        for h in range(min_h, hmax + 1):
+            ok = _window_sums(strips[0], h) == 0
+            for strip, required in zip(strips[1:], thresholds[1:]):
+                if not ok.any():
+                    break
+                ok &= _window_sums(strip, h) >= required
+            if not ok.any():
+                continue
+            candidates += int(ok.sum())
+            origin_cols = np.flatnonzero(ok.any(axis=1))
+            origin_rows = np.flatnonzero(ok.any(axis=0))
+            col_start[origin_cols] = True
+            row_start[origin_rows] = True
+            np.add.at(col_cover_diff, origin_cols, 1)
+            np.add.at(col_cover_diff, origin_cols + w, -1)
+            np.add.at(row_cover_diff, origin_rows, 1)
+            np.add.at(row_cover_diff, origin_rows + h, -1)
+
+    return PlacementMasks(
+        col_cover=np.cumsum(col_cover_diff[:-1]) > 0,
+        col_start=col_start,
+        row_cover=np.cumsum(row_cover_diff[:-1]) > 0,
+        row_start=row_start,
+        candidates=candidates,
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,6 +320,8 @@ class FloorplanMILP:
     wirelength_expr: LinExpr
     perimeter_expr: LinExpr
     norms: Dict[str, float]
+    #: per-area pruning statistics (empty when pruning was disabled)
+    prune_stats: Dict[str, Dict[str, int]] = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def area_by_name(self, name: str) -> AreaSpec:
@@ -210,6 +421,7 @@ def build_floorplan_milp(
     extra_areas: Sequence[AreaSpec] = (),
     fixed_relations: Mapping[Tuple[str, str], str] | None = None,
     model_name: str | None = None,
+    prune: bool = True,
 ) -> FloorplanMILP:
     """Build the base MILP for a problem plus optional free-compatible areas.
 
@@ -227,6 +439,12 @@ def build_floorplan_milp(
         binaries entirely.
     model_name:
         Name for the underlying :class:`~repro.milp.model.Model`.
+    prune:
+        Run :func:`feasible_placement_masks` per area and emit fixed-zero
+        variables (and no constraints) for positions no feasible placement
+        candidate touches.  Exact — the feasible set is unchanged — but the
+        model shrinks before it is built, the way the paper's explicit
+        placement-generation step intends.
     """
     partition = problem.partition
     width, height = partition.width, partition.height
@@ -262,6 +480,12 @@ def build_floorplan_milp(
     h_expr: Dict[str, LinExpr] = {}
     tiles_in_portion: Dict[str, List[LinExpr]] = {}
     frames_expr: Dict[str, LinExpr] = {}
+    prune_stats: Dict[str, Dict[str, int]] = {}
+
+    def _fixed_binary(var_name: str) -> Variable:
+        return model.add_var(var_name, VarType.BINARY, ub=0.0)
+
+    prune_tables = _PruneTables(partition.device) if prune else None
 
     # ------------------------------------------------------------------
     # per-area geometry variables
@@ -269,34 +493,111 @@ def build_floorplan_milp(
     for area in areas:
         name = area.name
         key = _sanitize(name)
-        col_cover[name] = [model.add_binary(f"u[{key},{j}]") for j in range(width)]
-        col_start[name] = [model.add_binary(f"us[{key},{j}]") for j in range(width)]
-        row_cover[name] = [model.add_binary(f"a[{key},{r}]") for r in range(height)]
-        row_start[name] = [model.add_binary(f"as[{key},{r}]") for r in range(height)]
+        if prune:
+            masks = feasible_placement_masks(
+                partition.device, area, tables=prune_tables
+            )
+        else:
+            masks = PlacementMasks.all_true(width, height)
 
-        _add_contiguity(model, col_cover[name], col_start[name], f"col[{key}]")
-        _add_contiguity(model, row_cover[name], row_start[name], f"row[{key}]")
+        col_cover[name] = [
+            model.add_binary(f"u[{key},{j}]")
+            if masks.col_cover[j]
+            else _fixed_binary(f"u[{key},{j}]")
+            for j in range(width)
+        ]
+        col_start[name] = [
+            model.add_binary(f"us[{key},{j}]")
+            if masks.col_start[j]
+            else _fixed_binary(f"us[{key},{j}]")
+            for j in range(width)
+        ]
+        row_cover[name] = [
+            model.add_binary(f"a[{key},{r}]")
+            if masks.row_cover[r]
+            else _fixed_binary(f"a[{key},{r}]")
+            for r in range(height)
+        ]
+        row_start[name] = [
+            model.add_binary(f"as[{key},{r}]")
+            if masks.row_start[r]
+            else _fixed_binary(f"as[{key},{r}]")
+            for r in range(height)
+        ]
 
-        w_expr[name] = quicksum(col_cover[name])
-        h_expr[name] = quicksum(row_cover[name])
-        x_expr[name] = LinExpr({var: float(j) for j, var in enumerate(col_start[name])})
-        y_expr[name] = LinExpr({var: float(r) for r, var in enumerate(row_start[name])})
+        _add_contiguity(
+            model, col_cover[name], col_start[name], f"col[{key}]",
+            masks.col_cover, masks.col_start,
+        )
+        _add_contiguity(
+            model, row_cover[name], row_start[name], f"row[{key}]",
+            masks.row_cover, masks.row_start,
+        )
+
+        portion_alive = [
+            bool(masks.col_cover[list(portion.columns())].any())
+            for portion in portions
+        ]
+        if prune:
+            area_stats = {
+                "cols_pruned": int((~masks.col_cover).sum()),
+                "rows_pruned": int((~masks.row_cover).sum()),
+                "portions_pruned": int(sum(1 for alive in portion_alive if not alive)),
+            }
+            if masks.candidates >= 0:
+                area_stats["candidates"] = masks.candidates
+            else:
+                # enumeration skipped by the work limit: no candidate count
+                area_stats["enumeration_skipped"] = 1
+            prune_stats[name] = area_stats
+
+        # derived expressions over the live variables only — fixed-zero
+        # variables contribute nothing in any feasible solution, so dropping
+        # them keeps the expressions exact while shrinking every constraint
+        # they feed (extent caps, non-overlap, wirelength, objective)
+        w_expr[name] = quicksum(
+            var for var, ok in zip(col_cover[name], masks.col_cover) if ok
+        )
+        h_expr[name] = quicksum(
+            var for var, ok in zip(row_cover[name], masks.row_cover) if ok
+        )
+        x_expr[name] = LinExpr(
+            {
+                var: float(j)
+                for j, var in enumerate(col_start[name])
+                if masks.col_start[j]
+            }
+        )
+        y_expr[name] = LinExpr(
+            {
+                var: float(r)
+                for r, var in enumerate(row_start[name])
+                if masks.row_start[r]
+            }
+        )
 
         if area.max_width is not None:
             model.add(w_expr[name] <= area.max_width, name=f"maxw[{key}]")
         if area.max_height is not None:
             model.add(h_expr[name] <= area.max_height, name=f"maxh[{key}]")
 
-        # k[n,p]: exact intersection indicator with each columnar portion
+        # k[n,p]: exact intersection indicator with each columnar portion.
+        # A portion no feasible placement candidate reaches gets a fixed-zero
+        # indicator and no linking constraints.
         k_vars[name] = []
         for portion in portions:
+            if not portion_alive[portion.index]:
+                k_vars[name].append(_fixed_binary(f"k[{key},{portion.index}]"))
+                continue
             k = model.add_binary(f"k[{key},{portion.index}]")
-            portion_cols = [col_cover[name][j] for j in portion.columns()]
-            for j, var in zip(portion.columns(), portion_cols):
+            live_cols = [j for j in portion.columns() if masks.col_cover[j]]
+            for j in live_cols:
                 model.add_ge_terms(
-                    {k: 1.0, var: -1.0}, 0.0, name=f"kge[{key},{portion.index},{j}]"
+                    {k: 1.0, col_cover[name][j]: -1.0},
+                    0.0,
+                    name=f"kge[{key},{portion.index},{j}]",
                 )
-            kle_terms = {var: -1.0 for var in portion_cols}
+            kle_terms = {col_cover[name][j]: -1.0 for j in live_cols}
             kle_terms[k] = 1.0
             model.add_le_terms(kle_terms, 0.0, name=f"kle[{key},{portion.index}]")
             k_vars[name].append(k)
@@ -304,14 +605,27 @@ def build_floorplan_milp(
         # l[n,p,r]: exact tiles of portion p covered on row r.  The three
         # linearization constraints per (portion, row) dominate the model; they
         # are emitted through the coefficient-dict fast path from a per-portion
-        # template of the covered-width terms.
+        # template of the covered-width terms.  (portion, row) pairs forced to
+        # zero by the placement masks — dead portion or dead row — are the
+        # discarded placement candidates: no variable, no constraints (the
+        # per-portion list then holds the live rows only).
         l_vars[name] = []
         tiles_in_portion[name] = []
         for portion in portions:
             row_list: List[Variable] = []
             portion_width = portion.width
-            neg_wcol = {col_cover[name][j]: -1.0 for j in portion.columns()}
+            if not portion_alive[portion.index]:
+                l_vars[name].append(row_list)
+                tiles_in_portion[name].append(LinExpr())
+                continue
+            neg_wcol = {
+                col_cover[name][j]: -1.0
+                for j in portion.columns()
+                if masks.col_cover[j]
+            }
             for r in range(height):
+                if not masks.row_cover[r]:
+                    continue
                 l = model.add_continuous(
                     f"l[{key},{portion.index},{r}]", lb=0.0, ub=float(portion_width)
                 )
@@ -335,14 +649,17 @@ def build_floorplan_milp(
             l_vars[name].append(row_list)
             tiles_in_portion[name].append(quicksum(row_list))
 
-        # frames covered by the area
+        # frames covered by the area (dead portions contribute empty sums)
         frames_expr[name] = quicksum(
             portion.tile_type.frames * tiles_in_portion[name][portion.index]
             for portion in portions
+            if portion_alive[portion.index]
         )
 
-        # forbidden cells
+        # forbidden cells (trivial once either side is fixed to zero)
         for fcol, frow in partition.forbidden_cells():
+            if not masks.col_cover[fcol] or not masks.row_cover[frow]:
+                continue
             model.add_le_terms(
                 {col_cover[name][fcol]: 1.0, row_cover[name][frow]: 1.0},
                 1.0,
@@ -425,6 +742,7 @@ def build_floorplan_milp(
         wirelength_expr=wirelength_expr,
         perimeter_expr=perimeter_expr,
         norms=normalization_constants(problem),
+        prune_stats=prune_stats,
     )
     milp.set_objective()
     return milp
@@ -438,24 +756,48 @@ def _sanitize(name: str) -> str:
 
 
 def _add_contiguity(
-    model: Model, cover: List[Variable], start: List[Variable], label: str
+    model: Model,
+    cover: List[Variable],
+    start: List[Variable],
+    label: str,
+    cover_ok: "np.ndarray | None" = None,
+    start_ok: "np.ndarray | None" = None,
 ) -> None:
-    """Force the covered indices to form exactly one non-empty contiguous run."""
-    model.add(quicksum(start) == 1, name=f"{label}:one_start")
+    """Force the covered indices to form exactly one non-empty contiguous run.
+
+    ``cover_ok``/``start_ok`` are the placement masks: constraints that are
+    trivially satisfied because one of their variables is fixed to zero are
+    not emitted.  The enumerator guarantees ``start_ok`` implies ``cover_ok``
+    at the same index, so the remaining constraints stay exact.
+    """
+    if cover_ok is None:
+        cover_ok = np.ones(len(cover), dtype=bool)
+    if start_ok is None:
+        start_ok = np.ones(len(start), dtype=bool)
+    model.add(
+        quicksum(s for s, ok in zip(start, start_ok) if ok) == 1,
+        name=f"{label}:one_start",
+    )
     for idx, (c, s) in enumerate(zip(cover, start)):
-        model.add_ge_terms({c: 1.0, s: -1.0}, 0.0, name=f"{label}:cover_ge_start[{idx}]")
+        if start_ok[idx]:
+            model.add_ge_terms(
+                {c: 1.0, s: -1.0}, 0.0, name=f"{label}:cover_ge_start[{idx}]"
+            )
         if idx == 0:
-            model.add_le_terms({c: 1.0, s: -1.0}, 0.0, name=f"{label}:first")
+            if cover_ok[0]:
+                model.add_le_terms({c: 1.0, s: -1.0}, 0.0, name=f"{label}:first")
         else:
-            model.add_le_terms(
-                {c: 1.0, cover[idx - 1]: -1.0, s: -1.0},
-                0.0,
-                name=f"{label}:chain[{idx}]",
-            )
+            if cover_ok[idx]:
+                model.add_le_terms(
+                    {c: 1.0, cover[idx - 1]: -1.0, s: -1.0},
+                    0.0,
+                    name=f"{label}:chain[{idx}]",
+                )
             # a start at idx forbids coverage of idx-1 (the run cannot begin twice)
-            model.add_le_terms(
-                {cover[idx - 1]: 1.0, s: 1.0}, 1.0, name=f"{label}:no_restart[{idx}]"
-            )
+            if cover_ok[idx - 1] and start_ok[idx]:
+                model.add_le_terms(
+                    {cover[idx - 1]: 1.0, s: 1.0}, 1.0, name=f"{label}:no_restart[{idx}]"
+                )
 
 
 def _add_non_overlap(

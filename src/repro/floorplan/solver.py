@@ -110,6 +110,10 @@ class FloorplanSolver:
     seed_floorplan:
         Optional externally-provided heuristic floorplan used as the HO seed
         (free-compatible areas are added on top if the spec requires them).
+    prune:
+        Run the vectorized feasible-placement pruning of
+        :func:`~repro.floorplan.milp_builder.build_floorplan_milp` (exact;
+        on by default).
     """
 
     def __init__(
@@ -120,6 +124,7 @@ class FloorplanSolver:
         options: SolverOptions | None = None,
         heuristic: str = "tessellation",
         seed_floorplan: Floorplan | None = None,
+        prune: bool = True,
     ) -> None:
         mode = mode.upper()
         if mode not in ("O", "HO"):
@@ -130,6 +135,7 @@ class FloorplanSolver:
         self.options = options or SolverOptions()
         self.heuristic = heuristic
         self.seed_floorplan = seed_floorplan
+        self.prune = prune
         self._seed = None  # populated lazily in HO mode
 
     # ------------------------------------------------------------------
@@ -157,6 +163,7 @@ class FloorplanSolver:
             extra_areas=extra_areas,
             fixed_relations=fixed_relations,
             model_name=f"{self.problem.name}[{self.mode}]",
+            prune=self.prune,
         )
         if extra_areas:
             apply_relocation_constraints(milp)

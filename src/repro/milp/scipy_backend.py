@@ -3,16 +3,22 @@
 `scipy.optimize.milp` wraps the HiGHS branch-and-cut solver, which is an exact
 MILP solver; the paper's formulation therefore keeps its feasibility and
 optimality semantics when solved through this backend.
+
+The model is lowered and presolved through the shared
+:func:`repro.milp.solver.prepare_model` glue, so HiGHS sees the reduced
+problem and the returned solution is mapped back to the original variables.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.milp.model import Model
 from repro.milp.solution import MILPSolution, SolveStatus
+from repro.milp.solver import PreparedModel, prepare_model, remaining_budget
 
 
 def solve_with_scipy(
@@ -20,6 +26,8 @@ def solve_with_scipy(
     time_limit: float | None = None,
     mip_gap: float | None = None,
     verbose: bool = False,
+    presolve: bool = True,
+    prepared: PreparedModel | None = None,
 ) -> MILPSolution:
     """Solve ``model`` using ``scipy.optimize.milp`` (HiGHS).
 
@@ -28,39 +36,54 @@ def solve_with_scipy(
     model:
         The model to solve.
     time_limit:
-        Wall-clock limit in seconds passed to HiGHS (``None`` = no limit).
+        Wall-clock limit in seconds (``None`` = no limit).  The budget covers
+        matrix lowering and presolve as well as HiGHS time.
     mip_gap:
         Relative MIP gap at which HiGHS may stop early.
     verbose:
         Forwarded to HiGHS output.
+    presolve:
+        Run the exact presolve reductions before handing off to HiGHS.
+    prepared:
+        Pre-built :class:`~repro.milp.solver.PreparedModel` (the facade
+        passes one to avoid lowering twice); built here when omitted.
     """
-    form = model.to_matrix_form()
     start = time.perf_counter()
+    if prepared is None:
+        prepared = prepare_model(model, run_presolve=presolve, backend="scipy-highs")
+
+    if prepared.shortcut is not None:
+        # copy before stamping: a PreparedModel may be reused across backends
+        return dataclasses.replace(
+            prepared.shortcut,
+            backend="scipy-highs",
+            solve_time=time.perf_counter() - start,
+        )
+
+    form = prepared.active
+    budget, exhausted = remaining_budget(time_limit, start)
+    if exhausted:
+        return MILPSolution(
+            status=SolveStatus.TIME_LIMIT,
+            solve_time=time.perf_counter() - start,
+            backend="scipy-highs",
+            message="time limit exhausted during matrix build/presolve",
+            presolve_stats=prepared.stats,
+        )
 
     options: dict = {"disp": bool(verbose)}
-    if time_limit is not None:
-        options["time_limit"] = float(time_limit)
+    if budget is not None:
+        options["time_limit"] = budget
     if mip_gap is not None:
         options["mip_rel_gap"] = float(mip_gap)
 
     constraints = None
-    if form.constraint_matrix.shape[0] > 0:
+    if form.num_constraints > 0:
         constraints = LinearConstraint(
             form.constraint_matrix, form.constraint_lb, form.constraint_ub
         )
 
     bounds = Bounds(form.var_lb, form.var_ub)
-
-    if len(form.variables) == 0:
-        return MILPSolution(
-            status=SolveStatus.OPTIMAL,
-            objective=0.0,
-            values={},
-            bound=0.0,
-            solve_time=0.0,
-            backend="scipy-highs",
-            message="empty model",
-        )
 
     result = milp(
         c=form.objective,
@@ -75,22 +98,15 @@ def solve_with_scipy(
     values = {}
     objective = float("nan")
     if result.x is not None:
-        values = {
-            var: _clean_value(var, x)
-            for var, x in zip(form.variables, result.x)
-        }
-        if not model.is_minimization:
-            objective = -float(result.fun)
-        else:
-            objective = float(result.fun)
-        # Re-evaluate through the user-facing objective so constants that the
-        # lowering dropped (none today, but cheap insurance) are reflected.
+        values = prepared.restore_values(result.x)
+        # Evaluate through the user-facing objective so the presolve offset
+        # and any constants the lowering dropped are reflected.
         objective = model.objective_value(values)
 
     bound = float("nan")
     mip_dual_bound = getattr(result, "mip_dual_bound", None)
     if mip_dual_bound is not None:
-        bound = float(mip_dual_bound) if model.is_minimization else -float(mip_dual_bound)
+        bound = prepared.user_bound(float(mip_dual_bound))
     elif status is SolveStatus.OPTIMAL:
         bound = objective
 
@@ -104,6 +120,7 @@ def solve_with_scipy(
         node_count=node_count,
         backend="scipy-highs",
         message=str(getattr(result, "message", "")),
+        presolve_stats=prepared.stats,
     )
 
 
@@ -122,10 +139,3 @@ def _map_status(result) -> SolveStatus:
     if result.x is not None:
         return SolveStatus.FEASIBLE
     return SolveStatus.ERROR
-
-
-def _clean_value(var, x: float) -> float:
-    """Round integral variables to avoid 0.9999999 artifacts downstream."""
-    if var.is_integral:
-        return float(round(float(x)))
-    return float(x)

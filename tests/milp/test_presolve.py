@@ -1,0 +1,176 @@
+"""Unit tests of the MILP presolve reductions and the postsolve mapping."""
+
+import numpy as np
+import pytest
+
+from repro.milp import (
+    Model,
+    PresolveStatus,
+    SolveStatus,
+    SolverOptions,
+    presolve,
+    prepare_model,
+    solve,
+    split_matrix_form,
+)
+
+
+def _reduced_model() -> Model:
+    """A model exercising every reduction at once."""
+    model = Model("reductions")
+    x = model.add_integer("x", lb=0, ub=10)
+    y = model.add_integer("y", lb=0, ub=10)
+    z = model.add_continuous("z", lb=2, ub=2)  # fixed
+    model.add(x <= 7.5, name="singleton")
+    model.add(x + y <= 12, name="pair")
+    model.add(x + y <= 12, name="pair_dup")
+    model.add(x + y <= 100, name="redundant")
+    model.add(x + y + z >= 3, name="with_fixed")
+    model.minimize(-2 * x - y + z)
+    return model
+
+
+class TestReductions:
+    def test_summary_counts(self):
+        result = presolve(_reduced_model().to_matrix_form())
+        assert result.status is PresolveStatus.REDUCED
+        stats = result.stats
+        assert stats.variables_fixed == 1  # z
+        assert stats.singleton_rows == 1
+        # "pair_dup" duplicates "pair"; "with_fixed" collapses onto it too
+        # once the fixed z is substituted out
+        assert stats.duplicate_rows == 2
+        assert stats.redundant_rows >= 1
+        assert stats.rows_after < stats.rows_before
+        assert stats.cols_after == 2
+        assert "presolve:" in stats.summary()
+
+    def test_singleton_row_tightens_bound(self):
+        result = presolve(_reduced_model().to_matrix_form())
+        # x <= 7.5 rounds to x <= 7 through integer bound tightening
+        x_pos = [v.name for v in result.reduced.variables].index("x")
+        assert result.reduced.var_ub[x_pos] == 7.0
+
+    def test_integer_bound_rounding(self):
+        model = Model()
+        model.add_integer("x", lb=0.4, ub=8.7)
+        model.minimize(model.variable_by_name("x"))
+        result = presolve(model.to_matrix_form())
+        assert result.reduced.var_lb[0] == 1.0
+        assert result.reduced.var_ub[0] == 8.0
+
+    def test_infeasible_bounds_detected(self):
+        model = Model()
+        x = model.add_integer("x", lb=0, ub=5)
+        model.add(x >= 3)
+        model.add(x <= 2)
+        model.minimize(x)
+        result = presolve(model.to_matrix_form())
+        assert result.status is PresolveStatus.INFEASIBLE
+
+    def test_duplicate_rows_with_empty_intersection(self):
+        model = Model()
+        x = model.add_continuous("x", lb=0, ub=10)
+        y = model.add_continuous("y", lb=0, ub=10)
+        model.add(x + y <= 3)
+        model.add(x + y >= 8)
+        model.minimize(x)
+        result = presolve(model.to_matrix_form())
+        assert result.status is PresolveStatus.INFEASIBLE
+
+    def test_all_variables_fixed_solves_model(self):
+        model = Model()
+        x = model.add_integer("x", lb=4, ub=4)
+        y = model.add_continuous("y", lb=1.5, ub=1.5)
+        model.add(x + y <= 6)
+        model.minimize(x + 2 * y)
+        result = presolve(model.to_matrix_form())
+        assert result.status is PresolveStatus.SOLVED
+        values = result.fixed_only_values()
+        assert values[x] == 4.0
+        assert values[y] == pytest.approx(1.5)
+
+    def test_fixed_point_violating_constraints_is_infeasible(self):
+        model = Model()
+        x = model.add_integer("x", lb=4, ub=4)
+        model.add(x <= 3)
+        model.minimize(x)
+        prepared = prepare_model(model)
+        assert prepared.shortcut is not None
+        assert prepared.shortcut.status is SolveStatus.INFEASIBLE
+
+
+class TestRoundTrip:
+    def test_roundtrip_restores_original_space(self):
+        """Fast presolve round-trip: reduce, solve, map back, re-verify."""
+        model = _reduced_model()
+        form = model.to_matrix_form()
+        result = presolve(form)
+
+        solution = solve(model, SolverOptions(presolve=True))
+        raw = solve(model, SolverOptions(presolve=False))
+        assert solution.status is raw.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(raw.objective, abs=1e-6)
+        # every original variable is present and the assignment is feasible
+        assert len(solution.values) == len(form.variables)
+        assert model.check_assignment(solution.values) == []
+
+        # restoring an arbitrary reduced point keeps the fixed values exact
+        reduced_x = np.zeros(result.reduced.num_variables)
+        full = result.restore(reduced_x)
+        z_index = [v.name for v in form.variables].index("z")
+        assert full[z_index] == pytest.approx(2.0)
+
+    def test_objective_offset_matches_fixed_contribution(self):
+        model = _reduced_model()
+        result = presolve(model.to_matrix_form())
+        # objective term of the fixed z (coefficient +1, value 2)
+        assert result.objective_offset == pytest.approx(2.0)
+        assert result.restore_objective(5.0) == pytest.approx(7.0)
+
+
+class TestSharedGlue:
+    def test_split_matrix_form_blocks(self):
+        model = Model()
+        x = model.add_continuous("x", lb=0, ub=4)
+        y = model.add_continuous("y", lb=0, ub=4)
+        model.add(x + y <= 5)
+        model.add(x - y >= -2)
+        model.add(x + 2 * y == 3)
+        split = split_matrix_form(model.to_matrix_form())
+        assert split.a_ub.shape == (2, 2)
+        assert split.a_eq.shape == (1, 2)
+        assert np.allclose(split.b_ub, [5.0, 2.0])
+        assert np.allclose(split.b_eq, [3.0])
+
+    def test_dense_flag_matches_sparse_lowering(self):
+        model = _reduced_model()
+        sparse_form = model.to_matrix_form()
+        dense_form = model.to_matrix_form(dense=True)
+        assert sparse_form.is_sparse and not dense_form.is_sparse
+        assert np.allclose(
+            dense_form.constraint_matrix, sparse_form.constraint_matrix.toarray()
+        )
+        assert np.array_equal(dense_form.constraint_lb, sparse_form.constraint_lb)
+        assert np.array_equal(dense_form.constraint_ub, sparse_form.constraint_ub)
+        assert np.array_equal(dense_form.integrality, sparse_form.integrality)
+        # presolve accepts the dense form by converting it
+        assert presolve(dense_form).status is PresolveStatus.REDUCED
+
+    def test_prepare_model_charges_time_budget(self):
+        from repro.milp.branch_bound import solve_with_branch_bound
+        from repro.milp.scipy_backend import solve_with_scipy
+
+        model = _reduced_model()
+        for backend in (solve_with_branch_bound, solve_with_scipy):
+            result = backend(model, time_limit=0.0)
+            assert result.status is SolveStatus.TIME_LIMIT
+            assert "presolve" in result.message or "gap" in result.message
+
+    def test_solution_carries_presolve_stats_and_gap(self):
+        model = _reduced_model()
+        result = solve(model, SolverOptions(backend="branch-bound"))
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.presolve_stats is not None
+        assert result.presolve_stats.variables_fixed == 1
+        assert result.gap == pytest.approx(0.0, abs=1e-9)

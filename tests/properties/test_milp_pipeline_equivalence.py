@@ -1,0 +1,187 @@
+"""Property/fuzz tests of the fast MILP pipeline.
+
+Three equivalences are enforced:
+
+* presolved and raw solves agree on status and objective across randomized
+  MILPs, on both backends;
+* the same holds for floorplanning models produced by the synthetic workload
+  builders;
+* pruned and unpruned ``build_floorplan_milp`` models extract identical
+  optimal floorplans (the feasible-placement pruning is exact, and HO-mode
+  fixed relations remove the symmetry that would otherwise let the solver
+  pick a different tie-optimal layout).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import scenarios
+from repro.floorplan import FloorplanSolver, ObjectiveWeights
+from repro.floorplan.ho import HOSeeder
+from repro.floorplan.milp_builder import build_floorplan_milp
+from repro.floorplan.problem import Connection, FloorplanProblem, IOPin
+from repro.milp import Model, SolveStatus, SolverOptions, solve
+from repro.workloads.synthetic import SyntheticWorkloadConfig, synthetic_problem
+
+OBJ_TOL = 1e-6
+
+
+def _anchored(problem: FloorplanProblem) -> FloorplanProblem:
+    """Tie one region to a fixed I/O pin so translation ties disappear.
+
+    Without an absolute anchor an optimal layout can slide across the fabric
+    at equal cost, and the pruned/unpruned solves may pick different (equally
+    optimal) translates; the pin makes the optimum unique so "identical
+    floorplans" is well-defined.
+    """
+    anchor = IOPin("anchor", col=0, row=0)
+    connections = list(problem.connections) + [
+        Connection(region.name, "anchor", weight=2.0) for region in problem.regions
+    ]
+    return FloorplanProblem(
+        problem.device,
+        list(problem.regions),
+        connections,
+        pins=[anchor],
+        name=f"{problem.name}-anchored",
+    )
+
+
+def _random_model(seed: int) -> Model:
+    """A seeded random MILP with singleton/duplicate/fixed structure."""
+    rng = np.random.default_rng(seed)
+    model = Model(f"fuzz-{seed}")
+    nvars = int(rng.integers(4, 10))
+    variables = []
+    for i in range(nvars):
+        kind = rng.random()
+        if kind < 0.4:
+            variables.append(model.add_binary(f"b{i}"))
+        elif kind < 0.75:
+            lb = int(rng.integers(-3, 1))
+            variables.append(model.add_integer(f"i{i}", lb=lb, ub=lb + int(rng.integers(2, 8))))
+        else:
+            lb = float(rng.uniform(-2, 0))
+            variables.append(model.add_continuous(f"c{i}", lb=lb, ub=lb + float(rng.uniform(1, 6))))
+    # occasionally fix a variable outright
+    if rng.random() < 0.5:
+        fixed = model.add_continuous(f"f{nvars}", lb=1.25, ub=1.25)
+        variables.append(fixed)
+
+    ncons = int(rng.integers(3, 9))
+    for c in range(ncons):
+        chosen = rng.choice(len(variables), size=int(rng.integers(1, 4)), replace=False)
+        coefs = rng.integers(-4, 5, size=chosen.size)
+        expr = sum(
+            int(k) * variables[int(j)] for j, k in zip(chosen, coefs) if int(k) != 0
+        )
+        if isinstance(expr, int):  # all coefficients were zero
+            continue
+        rhs = float(rng.integers(-6, 10))
+        roll = rng.random()
+        if roll < 0.45:
+            constraint = expr <= rhs
+        elif roll < 0.9:
+            constraint = expr >= -rhs
+        else:
+            constraint = expr == rhs
+        model.add(constraint, name=f"r{c}")
+        if rng.random() < 0.25:  # inject a duplicate row
+            model.add(constraint, name=f"r{c}_dup")
+
+    objective = sum(
+        float(rng.integers(-5, 6)) * v for v in variables
+    )
+    if rng.random() < 0.5:
+        model.minimize(objective)
+    else:
+        model.maximize(objective)
+    return model
+
+
+class TestPresolvedVsRawSolves:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_models_agree_on_highs(self, seed):
+        model = _random_model(seed)
+        raw = solve(model, SolverOptions(presolve=False))
+        reduced = solve(model, SolverOptions(presolve=True))
+        assert reduced.status is raw.status
+        if raw.status.has_solution:
+            assert reduced.objective == pytest.approx(raw.objective, abs=OBJ_TOL)
+            assert model.check_assignment(reduced.values) == []
+
+    @pytest.mark.parametrize("seed", range(0, 20, 4))
+    def test_random_models_agree_on_branch_bound(self, seed):
+        model = _random_model(seed)
+        options = SolverOptions(backend="branch-bound", time_limit=30)
+        raw = solve(model, options.replace(presolve=False, warm_start=False))
+        reduced = solve(model, options)
+        assert reduced.status.has_solution == raw.status.has_solution
+        if raw.status.has_solution:
+            assert reduced.objective == pytest.approx(raw.objective, abs=OBJ_TOL)
+            assert model.check_assignment(reduced.values) == []
+
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_synthetic_workload_builders_agree(self, seed):
+        config = SyntheticWorkloadConfig(num_regions=3, utilization=0.4, seed=seed)
+        problem = synthetic_problem(config=config, name=f"fuzz-workload-{seed}")
+        options = SolverOptions(time_limit=scenarios.bench_time_limit(120.0))
+        results = {}
+        for presolve_on in (False, True):
+            report = FloorplanSolver(
+                problem, mode="HO", options=options.replace(presolve=presolve_on)
+            ).solve(weights=ObjectiveWeights(wirelength=0.0, wasted_frames=1.0))
+            results[presolve_on] = report.solution
+        assert results[True].status is results[False].status
+        assert results[True].objective == pytest.approx(
+            results[False].objective, abs=OBJ_TOL
+        )
+
+
+class TestPrunedVsUnprunedBuilds:
+    def _solve_both(self, problem, weights):
+        """Build pruned/unpruned HO models and solve them identically."""
+        fixed = HOSeeder(problem).build_seed().fixed_relations()
+        extracted = {}
+        for prune in (False, True):
+            milp = build_floorplan_milp(problem, fixed_relations=fixed, prune=prune)
+            milp.set_objective(weights)
+            solution = solve(
+                milp.model,
+                SolverOptions(time_limit=scenarios.bench_time_limit(120.0)),
+            )
+            assert solution.status is SolveStatus.OPTIMAL
+            extracted[prune] = (solution, milp.extract(solution))
+        return extracted
+
+    @pytest.mark.parametrize(
+        "problem_factory",
+        [
+            lambda: _anchored(scenarios.small_problem("prune-eq-small")),
+            lambda: _anchored(scenarios.pruning_problem(32, name="prune-eq-pinned")),
+        ],
+        ids=["small", "resource-pinned"],
+    )
+    def test_identical_optimal_floorplans(self, problem_factory):
+        problem = problem_factory()
+        weights = ObjectiveWeights(wirelength=1.0, wasted_frames=1.0)
+        extracted = self._solve_both(problem, weights)
+        raw_solution, raw_plan = extracted[False]
+        pruned_solution, pruned_plan = extracted[True]
+        assert pruned_solution.objective == pytest.approx(
+            raw_solution.objective, abs=OBJ_TOL
+        )
+        raw_rects = {name: p.rect for name, p in raw_plan.placements.items()}
+        pruned_rects = {name: p.rect for name, p in pruned_plan.placements.items()}
+        assert pruned_rects == raw_rects
+
+    def test_pruned_model_is_smaller_on_pinned_regions(self):
+        problem = scenarios.pruning_problem(32, name="prune-shrink")
+        full = build_floorplan_milp(problem, prune=False).model.stats()
+        pruned_milp = build_floorplan_milp(problem, prune=True)
+        pruned = pruned_milp.model.stats()
+        assert pruned.num_constraints < full.num_constraints
+        assert pruned.num_nonzeros < full.num_nonzeros
+        assert any(
+            stats["cols_pruned"] > 0 for stats in pruned_milp.prune_stats.values()
+        )
