@@ -21,7 +21,9 @@ The public API re-exported here is the surface a downstream user needs:
   parallel batch execution, portfolio racing and scenario sweeps;
 * online simulation (:mod:`repro.sim`): discrete-event simulation of the
   runtime under stochastic traffic, fault injection and live
-  re-floorplanning policies.
+  re-floorplanning policies;
+* serving (:mod:`repro.server`): the asyncio JSON-over-HTTP solve gateway
+  with micro-batching, admission control and a load-testing harness.
 
 Quickstart::
 
@@ -108,6 +110,11 @@ from repro.service import (
     run_portfolio,
     run_sweep,
     sweep_jobs,
+)
+from repro.server import (
+    BackgroundGateway,
+    GatewayConfig,
+    SolveGateway,
 )
 from repro.sim import (
     InhomogeneousPoissonTraffic,
@@ -198,6 +205,10 @@ __all__ = [
     "sweep_jobs",
     "run_sweep",
     "run_portfolio",
+    # serving
+    "SolveGateway",
+    "GatewayConfig",
+    "BackgroundGateway",
     # online simulation
     "SimulationEngine",
     "SimConfig",

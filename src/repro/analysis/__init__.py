@@ -2,10 +2,12 @@
 
 from repro.analysis.render import render_device, render_floorplan, render_partition
 from repro.analysis.report import (
+    SERVER_COUNTER_HEADERS,
     SIM_LATENCY_HEADERS,
     SIM_UTILIZATION_HEADERS,
     SWEEP_HEADERS,
     format_table,
+    server_counter_rows,
     sim_latency_rows,
     sim_utilization_rows,
     sweep_table_rows,
@@ -26,4 +28,6 @@ __all__ = [
     "SIM_LATENCY_HEADERS",
     "sim_utilization_rows",
     "SIM_UTILIZATION_HEADERS",
+    "server_counter_rows",
+    "SERVER_COUNTER_HEADERS",
 ]

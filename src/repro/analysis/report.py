@@ -184,6 +184,26 @@ def sim_utilization_rows(
     return rows
 
 
+SERVER_COUNTER_HEADERS = ["Counter", "Value"]
+
+
+def server_counter_rows(counters: Mapping[str, object]) -> List[List[object]]:
+    """Two-column rows for the gateway's ``/metrics`` counter block.
+
+    ``counters`` is the flat dict produced by
+    :meth:`repro.server.metrics.GatewayMetrics.counters` — insertion order is
+    preserved so the table reads in lifecycle order (received -> shed ->
+    cache -> batches).  Rates render with fixed precision, counts as-is.
+    """
+    rows: List[List[object]] = []
+    for name, value in counters.items():
+        if isinstance(value, float):
+            rows.append([name, f"{value:.4f}"])
+        else:
+            rows.append([name, value])
+    return rows
+
+
 def floorplan_report(floorplan: Floorplan) -> Dict[str, object]:
     """A flat dictionary describing a solved floorplan (for EXPERIMENTS.md)."""
     metrics = evaluate_floorplan(floorplan)

@@ -23,10 +23,16 @@ The file layout (schema version 1)::
           "units": 1.0,
           "unit_name": "calls",
           "throughput": 81.3,
-          "peak_rss_kb": 184320
+          "peak_rss_kb": 184320,
+          "extras": {"p99_ms": 4.2}
         }, ...
       ]
     }
+
+``extras`` carries workload-reported auxiliary metrics (the ``server.*``
+benchmarks record latency percentiles, hit rate and shed rate there); it is
+optional on read and omitted on write when empty, so snapshots from before
+the field existed still load.
 
 Percentiles are linearly interpolated over the sorted samples (the
 ``fraction * (n - 1)`` position convention); with a single sample every
@@ -78,9 +84,16 @@ class BenchResult:
     unit_name: str
     throughput: float
     peak_rss_kb: Optional[int]
+    #: Workload-reported auxiliary metrics (latency percentiles, shed/hit
+    #: rates, ...).  Optional in the file format so pre-extras snapshots
+    #: still load; empty dicts are omitted on write.
+    extras: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if not data["extras"]:
+            del data["extras"]
+        return data
 
     @staticmethod
     def from_dict(data: Dict) -> "BenchResult":
@@ -88,7 +101,7 @@ class BenchResult:
         unknown = set(data) - fields
         if unknown:
             raise ValueError(f"unknown benchmark result fields: {sorted(unknown)}")
-        missing = fields - set(data)
+        missing = fields - set(data) - {"extras"}
         if missing:
             raise ValueError(f"missing benchmark result fields: {sorted(missing)}")
         return BenchResult(**data)
@@ -204,6 +217,7 @@ def summarize(measurements: Sequence[Measurement], profile_name: str) -> BenchRe
                 unit_name=measurement.unit_name,
                 throughput=measurement.units / median if median > 0 else float("inf"),
                 peak_rss_kb=measurement.peak_rss_kb,
+                extras=dict(measurement.extras),
             )
         )
     return BenchReport(

@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 import sys
 import time
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.bench.registry import REGISTRY, Benchmark, BenchmarkRegistry
 
@@ -76,6 +76,13 @@ class Workload:
     unit_name: str = "ops"
     #: Optional per-round teardown (e.g. clearing a cache so rounds are i.i.d.)
     reset: Optional[Callable[[], None]] = None
+    #: Auxiliary metrics the workload fills in while running (latency
+    #: percentiles, shed rates, ...); snapshotted into the report alongside
+    #: the wall-time summary.  Values must be JSON-serializable numbers.
+    extras: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Optional once-after-the-last-round teardown (e.g. draining a server
+    #: the factory started); always called, even when a round raises.
+    teardown: Optional[Callable[[], None]] = None
 
 
 @dataclasses.dataclass
@@ -88,6 +95,7 @@ class Measurement:
     units: float
     unit_name: str
     peak_rss_kb: Optional[int]
+    extras: Dict[str, float] = dataclasses.field(default_factory=dict)
 
 
 def _peak_rss_kb() -> Optional[int]:
@@ -109,17 +117,21 @@ def run_benchmark(bench: Benchmark, profile: BenchProfile) -> Measurement:
             f"benchmark {bench.name!r} factory must return a Workload, "
             f"got {type(workload).__name__}"
         )
-    for _ in range(profile.warmup):
-        workload.run()
-        if workload.reset is not None:
-            workload.reset()
     times: List[float] = []
-    for _ in range(profile.repeats):
-        start = time.perf_counter()
-        workload.run()
-        times.append(time.perf_counter() - start)
-        if workload.reset is not None:
-            workload.reset()
+    try:
+        for _ in range(profile.warmup):
+            workload.run()
+            if workload.reset is not None:
+                workload.reset()
+        for _ in range(profile.repeats):
+            start = time.perf_counter()
+            workload.run()
+            times.append(time.perf_counter() - start)
+            if workload.reset is not None:
+                workload.reset()
+    finally:
+        if workload.teardown is not None:
+            workload.teardown()
     return Measurement(
         benchmark=bench,
         profile=profile,
@@ -127,6 +139,7 @@ def run_benchmark(bench: Benchmark, profile: BenchProfile) -> Measurement:
         units=workload.units,
         unit_name=workload.unit_name,
         peak_rss_kb=_peak_rss_kb(),
+        extras=dict(workload.extras),
     )
 
 

@@ -29,6 +29,7 @@ __all__ = [
     "relocation_problem",
     "sim_floorplan",
     "throughput_sweep_jobs",
+    "server_payloads",
     "random_rect_state",
     "random_placement",
 ]
@@ -162,6 +163,18 @@ def throughput_sweep_jobs(
         modes=("HO",),
         options=options,
     )
+
+
+def server_payloads(unique: int = 4) -> list:
+    """Request bodies for the ``server.*`` gateway benchmarks.
+
+    Small two-region instances with distinct fingerprints (the connection
+    weight varies), each solving in a few hundred milliseconds — so the
+    cache-miss benchmarks measure batching and dispatch, not MILP asymptotics.
+    """
+    from repro.server.loadgen import demo_payloads
+
+    return demo_payloads(unique=unique, time_limit=bench_time_limit(20.0))
 
 
 def random_rect_state(

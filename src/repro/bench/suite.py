@@ -339,6 +339,158 @@ def service_fingerprint(profile: BenchProfile) -> Workload:
 
 
 # ----------------------------------------------------------------------
+# server: the asyncio solve gateway under load
+# ----------------------------------------------------------------------
+#: Shared server shape of the two cache-miss benchmarks: enough shards that
+#: one-request-per-solve dispatch is never queue-limited (making the batched
+#: win attributable to coalescing/dedup, not shard starvation), thread
+#: executor so no per-batch process-spawn cost muddies the comparison.
+_MISS_SHAPE = {"shards": 12, "batch_workers": 8, "executor": "thread"}
+
+
+def _gateway_workload(profile, make_config, run_load, warm: bool, unique: int = 4):
+    """Shared shape of the ``server.*`` benchmarks.
+
+    A :class:`~repro.server.gateway.BackgroundGateway` is started once in
+    setup (torn down by the harness's ``teardown`` hook); each timed round
+    throws one load pattern at it over real loopback HTTP and records the
+    load generator's percentile/shed/hit metrics into the workload extras.
+    ``warm=True`` prefills the solve cache in setup so the timed rounds
+    measure the serving path; ``warm=False`` clears the cache every round so
+    they measure the cache-miss solve pipeline.
+    """
+    from repro.server.gateway import BackgroundGateway
+
+    payloads = scenarios.server_payloads(unique=unique)
+    background = BackgroundGateway(make_config())
+    gateway = background.gateway
+
+    def run():
+        result = run_load(background.host, background.port, payloads)
+        workload.units = float(result.sent)
+        workload.extras.update(
+            {
+                "throughput_rps": round(result.throughput, 3),
+                "p50_ms": round(result.p50_s * 1e3, 3),
+                "p99_ms": round(result.p99_s * 1e3, 3),
+                "shed_rate": round(result.shed_rate, 6),
+                "hit_rate": round(result.hit_rate, 6),
+            }
+        )
+        return result
+
+    workload = Workload(run, units=1.0, unit_name="requests")
+    workload.teardown = background.stop
+    try:
+        if warm:
+            run()  # prefill: the timed rounds then serve a warm cache
+        else:
+            def reset():
+                gateway.cache.clear(disk=False)
+
+            workload.reset = reset
+            reset()
+    except BaseException:
+        # the runner only sees the Workload (and its teardown) if the factory
+        # returns; a failed prefill must not leak the gateway thread/port
+        background.stop()
+        raise
+    return workload
+
+
+@benchmark("server.gateway_closed_loop")
+def server_gateway_closed_loop(profile: BenchProfile) -> Workload:
+    """Warm-cache closed-loop serving: N keep-alive clients back to back."""
+    from repro.server.gateway import GatewayConfig
+    from repro.server.loadgen import run_closed_loop
+
+    requests = profile.scaled(10, 40)
+
+    def load(host, port, payloads):
+        return run_closed_loop(
+            host, port, payloads, clients=4, requests_per_client=requests
+        )
+
+    return _gateway_workload(
+        profile, lambda: GatewayConfig(port=0), load, warm=True
+    )
+
+
+@benchmark("server.gateway_open_loop")
+def server_gateway_open_loop(profile: BenchProfile) -> Workload:
+    """Warm-cache open-loop serving: Poisson arrivals past a rate limiter.
+
+    The offered rate deliberately exceeds the per-client token bucket, so the
+    snapshot records a non-zero shed rate — the admission-control path is part
+    of what this benchmark guards.
+    """
+    from repro.server.gateway import GatewayConfig
+    from repro.server.loadgen import run_open_loop
+
+    rate = float(profile.scaled(150, 300))
+
+    def load(host, port, payloads):
+        return run_open_loop(host, port, payloads, rate=rate, horizon=1.0, seed=7)
+
+    return _gateway_workload(
+        profile,
+        lambda: GatewayConfig(port=0, rate_limit=0.6 * rate, rate_burst=0.2 * rate),
+        load,
+        warm=True,
+    )
+
+
+@benchmark("server.miss_microbatch")
+def server_miss_microbatch(profile: BenchProfile) -> Workload:
+    """Cold-cache misses through the micro-batcher (coalescing + dedup).
+
+    8 concurrent requests over 4 unique jobs land inside one batch window —
+    the thundering-herd shape of a popular cache entry expiring.  The batcher
+    dedups the duplicate fingerprints and solves only the unique jobs, across
+    the full worker width.  Compare against ``server.miss_unbatched``
+    (identical gateway shape and load; only the batching knobs differ) for
+    the measured micro-batching margin.
+    """
+    from repro.server.gateway import GatewayConfig
+    from repro.server.loadgen import run_closed_loop
+
+    def load(host, port, payloads):
+        return run_closed_loop(host, port, payloads, clients=8, requests_per_client=1)
+
+    return _gateway_workload(
+        profile,
+        lambda: GatewayConfig(port=0, max_batch=16, batch_window=0.05, **_MISS_SHAPE),
+        load,
+        warm=False,
+        unique=4,
+    )
+
+
+@benchmark("server.miss_unbatched")
+def server_miss_unbatched(profile: BenchProfile) -> Workload:
+    """The one-request-per-solve baseline: same load, ``max_batch=1``.
+
+    No coalescing window: every request is dispatched as its own single-job
+    batch the moment it arrives, so concurrent duplicates race and each pays
+    its own full solve.  This is the ablation half of the micro-batching
+    comparison — same shard/worker shape, no window, no dedup.
+    """
+    from repro.server.gateway import GatewayConfig
+    from repro.server.loadgen import run_closed_loop
+
+    def load(host, port, payloads):
+        return run_closed_loop(host, port, payloads, clients=8, requests_per_client=1)
+
+    return _gateway_workload(
+        profile,
+        lambda: GatewayConfig(port=0, max_batch=1, batch_window=0.0, **_MISS_SHAPE),
+        load,
+        warm=False,
+        unique=4,
+    )
+
+
+# ----------------------------------------------------------------------
 # runtime: reconfiguration manager
 # ----------------------------------------------------------------------
 @benchmark("runtime.reconfigure")

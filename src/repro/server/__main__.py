@@ -1,0 +1,117 @@
+"""Command-line entry point: ``python -m repro.server``.
+
+Starts a gateway and serves until SIGINT/SIGTERM, then drains gracefully
+(refuse new work with 503, finish in-flight batches, close the listener).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+from typing import Optional, Sequence
+
+from repro.server.gateway import GatewayConfig, SolveGateway
+
+
+def build_config(args: argparse.Namespace) -> GatewayConfig:
+    return GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        max_queue_depth=args.queue_depth if args.queue_depth > 0 else None,
+        rate_limit=args.rate_limit,
+        shards=args.shards,
+        batch_workers=args.batch_workers,
+        executor=args.executor,
+        solver=args.solver,
+        cache_dir=args.cache_dir,
+        cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None,
+        trust_client_id=args.trust_client_id,
+    )
+
+
+async def serve(config: GatewayConfig, quiet: bool = False) -> None:
+    gateway = SolveGateway(config)
+    await gateway.start()
+    if not quiet:
+        print(
+            f"repro.server listening on http://{config.host}:{gateway.port} "
+            f"(batch window {config.batch_window * 1e3:.0f} ms x {config.max_batch}, "
+            f"{config.shards} shard(s), queue depth "
+            f"{config.max_queue_depth if config.max_queue_depth else 'unbounded'})",
+            flush=True,
+        )
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # pragma: no cover - win32
+            loop.add_signal_handler(signum, stop.set)
+
+    serve_task = asyncio.ensure_future(gateway.serve_forever())
+    stop_task = asyncio.ensure_future(stop.wait())
+    try:
+        await asyncio.wait({serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED)
+    finally:
+        if not quiet:
+            print("draining ...", flush=True)
+        serve_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve_task
+        await gateway.drain()
+        stop_task.cancel()
+        if not quiet:
+            snapshot = gateway.metrics_snapshot()
+            print(snapshot["tables"]["counters"], flush=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve floorplanning solve requests over JSON/HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--max-batch", type=int, default=8, help="micro-batch size cap")
+    parser.add_argument(
+        "--batch-window", type=float, default=0.01, help="micro-batch window (s)"
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=64, help="solver queue bound (0 = unbounded)"
+    )
+    parser.add_argument(
+        "--rate-limit", type=float, default=None, help="per-client requests/second"
+    )
+    parser.add_argument("--shards", type=int, default=2, help="concurrent worker shards")
+    parser.add_argument(
+        "--batch-workers", type=int, default=4, help="solver workers per shard"
+    )
+    parser.add_argument(
+        "--executor", choices=("thread", "process", "serial"), default="thread"
+    )
+    parser.add_argument("--solver", choices=("batch", "portfolio"), default="batch")
+    parser.add_argument("--cache-dir", default=None, help="persist solve results here")
+    parser.add_argument(
+        "--trust-client-id", action="store_true",
+        help="rate-limit by X-Client-Id header (only behind an authenticating proxy)",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=1024,
+        help="in-memory LRU entries (0 = unbounded)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    try:
+        asyncio.run(serve(build_config(args), quiet=args.quiet))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C before handler installs
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

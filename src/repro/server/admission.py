@@ -1,0 +1,128 @@
+"""Admission control: bounded-queue load shedding and per-client rate limits.
+
+Two independent gates protect the solver fleet:
+
+* a **token bucket per client** caps sustained request rate (``rate`` tokens
+  per second, ``burst`` capacity) — the front-door gate, applied before the
+  gateway spends any work on the request body;
+* a **bounded queue** sheds cache misses when the micro-batcher already holds
+  ``max_queue_depth`` unserved jobs — the backpressure gate that keeps a
+  traffic spike from building an unbounded latency backlog.
+
+Both refusals surface as HTTP 429 with a machine-readable reason, so load
+generators can separate "server is refusing" from "server is failing".
+The controller takes an injectable clock for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["TokenBucket", "AdmissionDecision", "AdmissionController"]
+
+
+class TokenBucket:
+    """The classic token bucket: ``rate`` tokens/s, capped at ``burst``."""
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("token bucket rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = float(now)
+
+    def try_acquire(self, now: float, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available (refilled up to ``now``)."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            return True
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = ""
+
+    ADMITTED = None  # populated below
+
+
+AdmissionDecision.ADMITTED = AdmissionDecision(admitted=True)
+
+
+class AdmissionController:
+    """Front-door rate limiting plus solver-queue load shedding.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Cache misses the batcher may hold (pending + in flight) before new
+        misses are shed; ``None`` disables the bound.
+    rate_limit:
+        Per-client sustained requests/second; ``None`` disables rate limiting.
+    rate_burst:
+        Bucket capacity; defaults to ``2 * rate_limit``.
+    clock:
+        Monotonic-seconds source (injectable for tests).
+    max_clients:
+        Bound on tracked client buckets; the stalest bucket is dropped past
+        the bound so a client-id-spinning attacker cannot grow memory.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: Optional[int] = 64,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 4096,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive (or None)")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError("rate_limit must be positive (or None)")
+        if max_clients <= 0:
+            raise ValueError("max_clients must be positive")
+        self.max_queue_depth = max_queue_depth
+        self.rate_limit = rate_limit
+        self.rate_burst = rate_burst if rate_burst is not None else (
+            2.0 * rate_limit if rate_limit is not None else None
+        )
+        self.clock = clock
+        self.max_clients = max_clients
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    # ------------------------------------------------------------------
+    def check_rate(self, client: str) -> AdmissionDecision:
+        """The front-door gate: per-client token bucket."""
+        if self.rate_limit is None:
+            return AdmissionDecision.ADMITTED
+        now = self.clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                stalest = min(self._buckets, key=lambda key: self._buckets[key].updated)
+                del self._buckets[stalest]
+            bucket = TokenBucket(self.rate_limit, self.rate_burst, now=now)
+            self._buckets[client] = bucket
+        if bucket.try_acquire(now):
+            return AdmissionDecision.ADMITTED
+        return AdmissionDecision(admitted=False, reason="rate_limited")
+
+    def check_queue(self, queue_depth: int) -> AdmissionDecision:
+        """The backpressure gate: bounded micro-batcher queue."""
+        if self.max_queue_depth is not None and queue_depth >= self.max_queue_depth:
+            return AdmissionDecision(admitted=False, reason="queue_full")
+        return AdmissionDecision.ADMITTED
+
+    @property
+    def tracked_clients(self) -> int:
+        return len(self._buckets)

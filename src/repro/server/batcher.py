@@ -1,0 +1,147 @@
+"""Time/size-windowed micro-batching of cache-miss solve jobs.
+
+Cache misses do not go to a solver one by one.  The batcher coalesces them
+into batches — flushed when ``max_batch`` jobs have accumulated or when the
+oldest pending job has waited ``max_wait`` seconds — and hands each batch to
+the worker shards in one call.  Coalescing buys two things:
+
+* **per-batch dedup** — concurrent requests for the same fingerprint (the
+  thundering-herd shape of a cache miss under fan-in traffic) are solved once
+  and fanned back out to every waiter;
+* **batch-level parallelism** — the worker shard runs the whole batch through
+  :class:`~repro.service.executor.BatchSolver`'s pool instead of paying
+  per-request dispatch.
+
+``max_batch=1`` (or ``max_wait=0`` with single submits) degenerates to the
+one-request-per-solve baseline the ``server.miss_unbatched`` benchmark
+measures against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.service.jobs import SolveJob
+from repro.service.results import JobResult
+
+__all__ = ["BatcherDraining", "MicroBatcher"]
+
+
+class BatcherDraining(RuntimeError):
+    """Submission refused because the batcher is shutting down (retryable)."""
+
+#: Signature of the downstream solver: unique jobs in, results by fingerprint.
+SolveBatch = Callable[[List[SolveJob]], Awaitable[Dict[str, JobResult]]]
+
+
+class MicroBatcher:
+    """Coalesce awaitable solve submissions into deduplicated batches.
+
+    Single-event-loop object: ``submit`` must be called from the loop the
+    batcher flushes on.  ``queue_depth`` (pending + in-flight jobs) is what
+    the admission controller bounds.
+    """
+
+    def __init__(
+        self,
+        solve_batch: SolveBatch,
+        max_batch: int = 8,
+        max_wait: float = 0.01,
+        on_batch: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self._solve_batch = solve_batch
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._on_batch = on_batch
+        self._pending: List[Tuple[SolveJob, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._inflight_jobs = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet answered (pending window + in flight)."""
+        return len(self._pending) + self._inflight_jobs
+
+    async def submit(self, job: SolveJob) -> JobResult:
+        """Enqueue one job and wait for its (possibly shared) result."""
+        if self._closed:
+            raise BatcherDraining("batcher is draining; no new submissions")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((job, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            if self.max_wait == 0:
+                # zero window: flush on the next loop tick, so submissions
+                # made back-to-back in one tick still share a batch
+                self._timer = loop.call_soon(self._flush)
+            else:
+                self._timer = loop.call_later(self.max_wait, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self._inflight_jobs += len(batch)
+        task = asyncio.get_event_loop().create_task(self._run_batch(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, batch: List[Tuple[SolveJob, asyncio.Future]]) -> None:
+        unique: Dict[str, SolveJob] = {}
+        for job, _future in batch:
+            unique.setdefault(job.fingerprint, job)
+        if self._on_batch is not None:
+            self._on_batch(len(batch), len(unique))
+        try:
+            results = await self._solve_batch(list(unique.values()))
+        except Exception as exc:  # noqa: BLE001 — fail the waiters, not the loop
+            for _job, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        finally:
+            self._inflight_jobs -= len(batch)
+        seen_first: Set[str] = set()
+        for job, future in batch:
+            if future.done():
+                continue
+            result = results.get(job.fingerprint)
+            if result is None:
+                future.set_exception(
+                    RuntimeError(f"worker returned no result for {job.short_id}")
+                )
+                continue
+            # slots beyond the first sharing a fingerprint were deduplicated
+            if job.fingerprint in seen_first:
+                result = result if result.cached else _as_cached(result)
+            else:
+                seen_first.add(job.fingerprint)
+            future.set_result(result)
+
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Flush the window and wait for every in-flight batch (idempotent)."""
+        self._closed = True
+        self._flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+
+def _as_cached(result: JobResult) -> JobResult:
+    import dataclasses
+
+    return dataclasses.replace(result, cached=True)

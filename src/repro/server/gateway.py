@@ -1,0 +1,401 @@
+"""The asyncio solve gateway: HTTP front door for the solver fleet.
+
+Request lifecycle for ``POST /solve``:
+
+1. **rate limit** — per-client token bucket (429 ``rate_limited``);
+2. **decode** — body JSON -> :class:`~repro.service.jobs.SolveJob` via
+   :mod:`repro.server.protocol` (400 on anything malformed);
+3. **cache** — the job fingerprint is looked up in the shared
+   :class:`~repro.service.cache.SolveCache`; hits are answered inline without
+   touching the solver queue;
+4. **admission** — misses are shed with 429 ``queue_full`` when the
+   micro-batcher already holds ``max_queue_depth`` unserved jobs;
+5. **batch + solve** — admitted misses coalesce in the
+   :class:`~repro.server.batcher.MicroBatcher` window and execute on the
+   :class:`~repro.server.workers.WorkerPool` shards; the response carries the
+   full :class:`~repro.service.results.JobResult`.
+
+``GET /healthz`` reports liveness and queue depth; ``GET /metrics`` serves
+counters, latency histograms and cache stats, plus the rendered
+:mod:`repro.analysis` tables.  :meth:`SolveGateway.drain` implements graceful
+shutdown: stop admitting (503), flush the batch window, wait for in-flight
+batches, then close the listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.report import (
+    SERVER_COUNTER_HEADERS,
+    SIM_LATENCY_HEADERS,
+    format_table,
+    server_counter_rows,
+    sim_latency_rows,
+)
+from repro.server.admission import AdmissionController
+from repro.server.batcher import BatcherDraining, MicroBatcher
+from repro.server.http import HttpError, HttpRequest, read_request, write_response
+from repro.server.metrics import GatewayMetrics
+from repro.server.protocol import ProtocolError, job_from_dict
+from repro.server.workers import WorkerPool
+from repro.service.cache import SolveCache
+
+__all__ = ["GatewayConfig", "SolveGateway", "BackgroundGateway"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables of one gateway instance.
+
+    Attributes
+    ----------
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (tests and
+        benchmarks read the bound port back from :attr:`SolveGateway.port`).
+    max_batch, batch_window:
+        Micro-batch flush triggers: size cap and time window in seconds.
+        ``max_batch=1`` disables coalescing (the unbatched baseline).
+    max_queue_depth:
+        Cache misses the batcher may hold before load shedding; ``None``
+        disables the bound.
+    rate_limit, rate_burst:
+        Per-client token bucket (requests/second, bucket size); ``None``
+        disables rate limiting.
+    shards, batch_workers, executor, solver, portfolio_deadline:
+        Worker-pool shape (see :class:`~repro.server.workers.WorkerPool`).
+    cache_dir:
+        Optional persistence directory for the solve cache.
+    cache_capacity:
+        In-memory LRU bound of the solve cache.
+    trust_client_id:
+        Key rate-limit buckets on the ``X-Client-Id`` header instead of the
+        peer address.  Off by default: the header is client-controlled, so
+        trusting it lets an id-spinning client mint a fresh full-burst bucket
+        per request and void the rate limit.  Turn it on only behind an
+        authenticating proxy that sets the header itself.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    max_batch: int = 8
+    batch_window: float = 0.01
+    max_queue_depth: Optional[int] = 64
+    rate_limit: Optional[float] = None
+    rate_burst: Optional[float] = None
+    shards: int = 2
+    batch_workers: Optional[int] = 4
+    executor: str = "thread"
+    solver: str = "batch"
+    portfolio_deadline: Optional[float] = None
+    cache_dir: Optional[str] = None
+    cache_capacity: Optional[int] = 1024
+    trust_client_id: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+
+
+class SolveGateway:
+    """One gateway instance: listener, batcher, shards, metrics.
+
+    ``cache`` and ``worker_pool`` are injectable so tests can run the full
+    HTTP path against a stub solver.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GatewayConfig] = None,
+        cache: Optional[SolveCache] = None,
+        worker_pool: Optional[WorkerPool] = None,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        self.cache = cache if cache is not None else SolveCache(
+            self.config.cache_dir, capacity=self.config.cache_capacity
+        )
+        self.metrics = GatewayMetrics()
+        self.workers = worker_pool if worker_pool is not None else WorkerPool(
+            cache=self.cache,
+            shards=self.config.shards,
+            batch_workers=self.config.batch_workers,
+            executor=self.config.executor,
+            solver=self.config.solver,
+            portfolio_deadline=self.config.portfolio_deadline,
+        )
+        self.batcher = MicroBatcher(
+            self.workers.solve_batch,
+            max_batch=self.config.max_batch,
+            max_wait=self.config.batch_window,
+            on_batch=self.metrics.observe_batch,
+        )
+        self.admission = AdmissionController(
+            max_queue_depth=self.config.max_queue_depth,
+            rate_limit=self.config.rate_limit,
+            rate_burst=self.config.rate_burst,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (idempotent-unsafe: call once)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight work, close."""
+        self._draining = True
+        await self.batcher.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.workers.shutdown(wait=True)
+
+    @property
+    def queue_depth(self) -> int:
+        return self.batcher.queue_depth
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if isinstance(peer, tuple) else "unknown"
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
+                        writer, exc.status, {"error": str(exc)}, keep_alive=False
+                    )
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                client = peer_host
+                if self.config.trust_client_id:
+                    client = request.header("x-client-id") or peer_host
+                try:
+                    status, payload, headers = await self._dispatch(request, client)
+                except Exception as exc:  # noqa: BLE001 — a request must never
+                    # kill the connection without an answer
+                    status, headers = 500, None
+                    payload = {"error": f"{type(exc).__name__}: {exc}"}
+                keep_alive = request.keep_alive
+                await write_response(
+                    writer, status, payload, keep_alive=keep_alive, extra_headers=headers
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: HttpRequest, client: str
+    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+        route = (request.method, request.path.split("?", 1)[0])
+        if route == ("POST", "/solve"):
+            return await self._solve(request, client)
+        if route == ("GET", "/healthz"):
+            return 200, self._healthz(), None
+        if route == ("GET", "/metrics"):
+            return 200, self.metrics_snapshot(), None
+        if route[1] in ("/solve", "/healthz", "/metrics"):
+            return 405, {"error": f"{request.method} not allowed on {route[1]}"}, None
+        return 404, {"error": f"no route for {request.method} {route[1]}"}, None
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    async def _solve(
+        self, request: HttpRequest, client: str
+    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+        self.metrics.received += 1
+        if self._draining:
+            self.metrics.rejected_draining += 1
+            return 503, {"error": "gateway is draining"}, {"Retry-After": "1"}
+
+        decision = self.admission.check_rate(client)
+        if not decision.admitted:
+            self.metrics.shed_rate_limited += 1
+            return 429, {"error": "shed", "reason": decision.reason}, {"Retry-After": "1"}
+
+        started = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        try:
+            # decode off the loop: JSON parse + device-grid rebuild are CPU
+            # work proportional to the (up to 32 MB) body, and one slow
+            # request must not stall every other connection's responses
+            job = await loop.run_in_executor(
+                None, lambda: job_from_dict(request.json())
+            )
+        except (HttpError, ProtocolError) as exc:
+            self.metrics.bad_requests += 1
+            return 400, {"error": str(exc)}, None
+
+        if self.cache.directory is None:
+            hit = self.cache.get(job.fingerprint)  # pure in-memory probe
+        else:
+            # the disk layer does file IO on a miss-in-memory: off the loop
+            hit = await loop.run_in_executor(None, self.cache.get, job.fingerprint)
+        if hit is not None:
+            self.metrics.observe_hit(time.perf_counter() - started)
+            return 200, self._result_payload(job, hit, cached=True), None
+        self.metrics.cache_misses += 1
+
+        decision = self.admission.check_queue(self.batcher.queue_depth)
+        if not decision.admitted:
+            self.metrics.shed_queue_full += 1
+            return 429, {"error": "shed", "reason": decision.reason}, {"Retry-After": "1"}
+
+        try:
+            result = await self.batcher.submit(job)
+        except BatcherDraining:
+            # the drain flag flipped while this request was decoding: the
+            # rejection is retryable, not an internal error
+            self.metrics.rejected_draining += 1
+            return 503, {"error": "gateway is draining"}, {"Retry-After": "1"}
+        except Exception as exc:  # noqa: BLE001 — solver crash must answer 500
+            self.metrics.observe_solved(time.perf_counter() - started, error=True)
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
+        elapsed = time.perf_counter() - started
+        if result.status == "error":
+            self.metrics.observe_solved(elapsed, error=True)
+            return 500, self._result_payload(job, result, cached=False), None
+        self.metrics.observe_solved(elapsed)
+        return 200, self._result_payload(job, result, cached=result.cached), None
+
+    def _healthz(self) -> Dict[str, object]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(self.metrics.uptime_s, 3),
+            "queue_depth": self.queue_depth,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` document: raw numbers plus rendered tables.
+
+        The gateway's own ``counters.hit_rate`` is the served hit rate.  The
+        ``cache`` block is the :class:`SolveCache`'s account of *its* lookups,
+        which sees each end-to-end miss twice (once from the gateway probe,
+        once from the worker shard's dedup-across-batches probe) — so its
+        hit_rate reads lower than the gateway's by design.
+        """
+        snapshot = self.metrics.snapshot(
+            queue_depth=self.queue_depth, cache_stats=self.cache.stats.as_dict()
+        )
+        snapshot["tables"] = {
+            "counters": format_table(
+                SERVER_COUNTER_HEADERS,
+                server_counter_rows(snapshot["counters"]),
+                title="gateway counters",
+            ),
+            "latency": format_table(
+                SIM_LATENCY_HEADERS,
+                sim_latency_rows(snapshot["latency"]),
+                title="request latency (s)",
+            ),
+        }
+        return snapshot
+
+    @staticmethod
+    def _result_payload(job, result, cached: bool) -> Dict[str, object]:
+        data = result.as_dict()
+        data["cached"] = bool(cached)  # describes *this* response, not the store
+        return {
+            "fingerprint": job.fingerprint,
+            "cached": bool(cached),
+            "result": data,
+        }
+
+
+class BackgroundGateway:
+    """Run a :class:`SolveGateway` on a dedicated event-loop thread.
+
+    The synchronous harness the example, the tests and the ``server.*``
+    benchmarks share: start, read the bound ``port``, throw load from any
+    thread, ``stop()`` to drain gracefully.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GatewayConfig] = None,
+        cache: Optional[SolveCache] = None,
+        worker_pool: Optional[WorkerPool] = None,
+        start_timeout: float = 10.0,
+    ) -> None:
+        self.gateway = SolveGateway(config=config, cache=cache, worker_pool=worker_pool)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self.gateway.start(), self._loop)
+        try:
+            future.result(timeout=start_timeout)
+        except BaseException:
+            # a failed bind (port in use, bad host) must not leak the loop
+            # thread this constructor just started
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=start_timeout)
+            if not self._loop.is_running():
+                self._loop.close()
+            self.gateway.workers.shutdown(wait=False)
+            raise
+        self._stopped = False
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    @property
+    def host(self) -> str:
+        return self.gateway.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.gateway.port is not None
+        return self.gateway.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain the gateway and stop the loop thread (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(self.gateway.drain(), self._loop)
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+            if not self._loop.is_running():
+                self._loop.close()
+
+    def __enter__(self) -> "BackgroundGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

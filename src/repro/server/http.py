@@ -1,0 +1,181 @@
+"""Minimal asyncio HTTP/1.1 plumbing (stdlib only).
+
+The gateway needs exactly four things from HTTP: parse a request line plus
+headers, read a ``Content-Length`` body, write a JSON response, and keep the
+connection alive between requests so closed-loop clients are not paying a TCP
+handshake per solve.  This module provides those four things over
+``asyncio.StreamReader``/``StreamWriter`` and nothing else — no chunked
+encoding, no TLS, no HTTP/2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Optional, Tuple
+
+__all__ = ["HttpError", "HttpRequest", "read_request", "write_response", "REASONS"]
+
+#: Largest accepted request body; big devices encode to ~1 MB, so 32 MB is
+#: generous while still bounding a hostile Content-Length.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Largest accepted request line + header block.
+MAX_HEADER_BYTES = 64 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A malformed request; carries the status the connection should answer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclasses.dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def json(self) -> object:
+        """Decode the body as JSON (:class:`HttpError` 400 on failure)."""
+        if not self.body:
+            raise HttpError(400, "empty request body")
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+async def _read_line(reader, limit: int) -> bytes:
+    try:
+        line = await reader.readline()
+    except ValueError as exc:
+        # the StreamReader's own buffer limit tripped before ours could:
+        # surface it as the same 413 instead of an unhandled exception
+        raise HttpError(413, "header line too long") from exc
+    if len(line) > limit:
+        raise HttpError(413, "header line too long")
+    return line
+
+
+async def read_request(reader) -> Optional[HttpRequest]:
+    """Parse one request; ``None`` on a cleanly closed connection.
+
+    Raises :class:`HttpError` on malformed input — the caller answers with the
+    carried status and closes the connection.
+    """
+    request_line = await _read_line(reader, MAX_HEADER_BYTES)
+    if not request_line:
+        return None  # EOF between requests: client closed the keep-alive
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, path, _version = parts
+
+    headers: Dict[str, str] = {}
+    consumed = len(request_line)
+    while True:
+        line = await _read_line(reader, MAX_HEADER_BYTES)
+        consumed += len(line)
+        if consumed > MAX_HEADER_BYTES:
+            raise HttpError(413, "header block too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise HttpError(400, "connection closed mid-headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "malformed Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def encode_response(
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialize a JSON response (dict payload) or raw bytes."""
+    if isinstance(payload, (bytes, bytearray)):
+        body = bytes(payload)
+        content_type = "application/octet-stream"
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+async def write_response(
+    writer,
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Write one response and flush it."""
+    writer.write(encode_response(status, payload, keep_alive, extra_headers))
+    await writer.drain()
+
+
+def parse_response(raw_head: bytes, body: bytes) -> Tuple[int, object]:
+    """Client-side response decoding (used by the load generator)."""
+    status_line = raw_head.split(b"\r\n", 1)[0].decode("latin-1")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed status line: {status_line!r}")
+    status = int(parts[1])
+    payload: object = None
+    if body:
+        try:
+            payload = json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = body
+    return status, payload

@@ -1,0 +1,213 @@
+"""Gateway observability: counters, gauges and latency histograms.
+
+Latencies are recorded into fixed log-spaced buckets (deterministic, O(1)
+memory, thread-safe under the GIL), with quantiles read back as the upper
+bound of the covering bucket — the standard Prometheus-histogram trade-off:
+a p99 that is never under-reported, at ~18% bucket resolution.
+
+The snapshot feeds three consumers: the ``/metrics`` endpoint (flat JSON),
+the :mod:`repro.analysis` tables (``SERVER_COUNTER_HEADERS`` two-column table
+plus the shared ``SIM_LATENCY_HEADERS`` percentile table), and the
+``server.*`` benchmark extras recorded in ``BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["LatencyHistogram", "GatewayMetrics"]
+
+
+def _default_bounds() -> List[float]:
+    # 100 us .. ~1100 s in x1.5 steps: covers inline cache hits through
+    # multi-minute MILP solves with ≤ 50% (upper-bound) quantile error
+    bounds = []
+    edge = 1e-4
+    for _ in range(40):
+        bounds.append(edge)
+        edge *= 1.5
+    return bounds
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with bucket-resolution quantiles."""
+
+    def __init__(self, bounds: Optional[List[float]] = None) -> None:
+        self.bounds = list(bounds) if bounds is not None else _default_bounds()
+        if sorted(self.bounds) != self.bounds or len(set(self.bounds)) != len(self.bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one sample."""
+        seconds = max(0.0, float(seconds))
+        index = self._bucket_index(seconds)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def _bucket_index(self, seconds: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= sample
+            mid = (lo + hi) // 2
+            if self.bounds[mid] >= seconds:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Upper bound of the bucket holding the ``fraction`` quantile.
+
+        Never under-reports: the true quantile is at most the returned value.
+        The overflow bucket reports the exact observed maximum.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(fraction * self.count + 0.5))  # nearest-rank
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return min(self.bounds[index], self.max)
+                return self.max
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """The ``{count, mean, p50, p90, p99, max}`` dict the analysis
+        latency table (:func:`repro.analysis.report.sim_latency_rows`) renders."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+
+@dataclasses.dataclass
+class GatewayMetrics:
+    """All counters and histograms of one gateway instance."""
+
+    received: int = 0  # POST /solve requests accepted off the wire
+    ok: int = 0  # 200 responses
+    bad_requests: int = 0  # 400 undecodable bodies
+    shed_rate_limited: int = 0  # 429 per-client token bucket
+    shed_queue_full: int = 0  # 429 bounded-queue load shedding
+    rejected_draining: int = 0  # 503 during graceful drain
+    solve_errors: int = 0  # 500 job executed but failed
+    cache_hits: int = 0  # answered inline from the solve cache
+    cache_misses: int = 0  # routed into the micro-batcher
+    batches: int = 0  # batches flushed to the worker shards
+    batched_jobs: int = 0  # jobs carried by those batches
+    deduped_jobs: int = 0  # batch slots answered by an in-batch duplicate
+
+    def __post_init__(self) -> None:
+        self.started_monotonic = time.monotonic()
+        self.latency_total = LatencyHistogram()
+        self.latency_hit = LatencyHistogram()
+        self.latency_miss = LatencyHistogram()
+        self.batch_sizes = LatencyHistogram(bounds=[float(2**i) for i in range(11)])
+
+    # ------------------------------------------------------------------
+    def observe_hit(self, seconds: float) -> None:
+        self.cache_hits += 1
+        self.ok += 1
+        self.latency_total.observe(seconds)
+        self.latency_hit.observe(seconds)
+
+    def observe_solved(self, seconds: float, error: bool = False) -> None:
+        if error:
+            self.solve_errors += 1
+        else:
+            self.ok += 1
+        self.latency_total.observe(seconds)
+        self.latency_miss.observe(seconds)
+
+    def observe_batch(self, size: int, unique: int) -> None:
+        self.batches += 1
+        self.batched_jobs += size
+        self.deduped_jobs += size - unique
+        self.batch_sizes.observe(float(size))
+
+    # ------------------------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    @property
+    def shed(self) -> int:
+        """Requests refused by admission control (both 429 flavours)."""
+        return self.shed_rate_limited + self.shed_queue_full
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of received solve requests refused with a 429."""
+        return self.shed / self.received if self.received else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of admitted solve requests answered inline from cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_jobs / self.batches if self.batches else 0.0
+
+    # ------------------------------------------------------------------
+    def counters(self, queue_depth: int = 0) -> Dict[str, object]:
+        """Flat counter/gauge dict (the ``/metrics`` counters block)."""
+        return {
+            "uptime_s": round(self.uptime_s, 3),
+            "queue_depth": queue_depth,
+            "received": self.received,
+            "ok": self.ok,
+            "bad_requests": self.bad_requests,
+            "shed_rate_limited": self.shed_rate_limited,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_rate": round(self.shed_rate, 6),
+            "rejected_draining": self.rejected_draining,
+            "solve_errors": self.solve_errors,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": round(self.hit_rate, 6),
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "deduped_jobs": self.deduped_jobs,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+        }
+
+    def latency_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Named latency summaries for the shared percentile table."""
+        return {
+            "request": self.latency_total.summary(),
+            "cache_hit": self.latency_hit.summary(),
+            "solve_miss": self.latency_miss.summary(),
+        }
+
+    def snapshot(self, queue_depth: int = 0, cache_stats: Optional[Mapping] = None) -> Dict:
+        """Everything ``/metrics`` serves, as one JSON-ready dict."""
+        return {
+            "counters": self.counters(queue_depth),
+            "latency": self.latency_summaries(),
+            "cache": dict(cache_stats) if cache_stats is not None else {},
+        }

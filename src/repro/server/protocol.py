@@ -1,0 +1,202 @@
+"""Wire encoding of solve requests and responses.
+
+The gateway speaks JSON: a ``POST /solve`` body is the canonical content
+dictionary of a :class:`~repro.service.jobs.SolveJob` (exactly what
+:meth:`SolveJob.spec_dict` produces, plus the fingerprint-neutral ``tag``).
+This module is the inverse of :mod:`repro.service.jobs`: it rebuilds the
+device grid, problem, relocation spec and solver options from their canonical
+dictionaries, and guarantees the round trip is fingerprint-exact — a job
+encoded by one process and decoded by the gateway hits the same cache entry
+the original would.
+
+All validation failures raise :class:`ProtocolError`, which the gateway maps
+to a 400 response; nothing in a request body can take the server down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.device.grid import FPGADevice, ForbiddenRect
+from repro.device.resources import ResourceVector
+from repro.device.tile import TileType
+from repro.floorplan.metrics import ObjectiveWeights
+from repro.floorplan.problem import Connection, FloorplanProblem, IOPin, Region
+from repro.milp import SolverOptions
+from repro.relocation.spec import RelocationRequest, RelocationSpec
+from repro.service.jobs import SolveJob
+
+__all__ = [
+    "ProtocolError",
+    "device_from_dict",
+    "problem_from_dict",
+    "relocation_from_list",
+    "job_from_dict",
+    "job_to_dict",
+]
+
+
+class ProtocolError(ValueError):
+    """A request body that cannot be decoded into a valid solve job."""
+
+
+def _require(data: Mapping, key: str, context: str):
+    try:
+        return data[key]
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"{context}: missing field {key!r}") from exc
+
+
+def device_from_dict(data: Mapping[str, object]) -> FPGADevice:
+    """Rebuild an :class:`FPGADevice` from its canonical content encoding.
+
+    The inverse of :func:`repro.service.jobs.device_spec_dict`: tile types are
+    re-interned in their original dense-index order and forbidden cells become
+    1x1 forbidden rectangles (the fingerprint hashes cells, not rectangles, so
+    the round trip is content-exact).
+    """
+    try:
+        types = [
+            TileType(
+                name=str(_require(entry, "name", "tile type")),
+                resources=ResourceVector(_require(entry, "resources", "tile type")),
+                frames=int(_require(entry, "frames", "tile type")),
+            )
+            for entry in _require(data, "types", "device")
+        ]
+        width = int(_require(data, "width", "device"))
+        height = int(_require(data, "height", "device"))
+        grid = list(_require(data, "grid", "device"))
+        forbidden_cells = [int(cell) for cell in data.get("forbidden", ())]
+    except ProtocolError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — request bodies are untrusted
+        raise ProtocolError(f"malformed device spec: {exc}") from exc
+    if width <= 0 or height <= 0:
+        raise ProtocolError(f"device extent must be positive, got {width}x{height}")
+    if len(grid) != width * height:
+        raise ProtocolError(
+            f"device grid has {len(grid)} cells, expected {width}x{height}={width * height}"
+        )
+    try:
+        indices = [int(cell) for cell in grid]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("device grid cells must be tile-type indices") from exc
+    if any(index < 0 or index >= len(types) for index in indices):
+        raise ProtocolError("device grid references an unknown tile-type index")
+    tile_types = [
+        [types[indices[col * height + row]] for row in range(height)]
+        for col in range(width)
+    ]
+    rects = []
+    for index, cell in enumerate(forbidden_cells):
+        col, row = divmod(cell, height)
+        if not (0 <= col < width and 0 <= row < height):
+            raise ProtocolError(f"forbidden cell {cell} outside the {width}x{height} grid")
+        rects.append(ForbiddenRect(f"cell{index}", col, row, 1, 1))
+    try:
+        return FPGADevice(str(data.get("name") or "device"), tile_types, forbidden=rects)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid device: {exc}") from exc
+
+
+def problem_from_dict(data: Mapping[str, object]) -> FloorplanProblem:
+    """Rebuild a :class:`FloorplanProblem` from its canonical encoding."""
+    device = device_from_dict(_require(data, "device", "problem"))
+    try:
+        regions = [
+            Region(
+                name=str(_require(entry, "name", "region")),
+                requirements=ResourceVector(_require(entry, "requirements", "region")),
+                max_width=entry.get("max_width"),
+                max_height=entry.get("max_height"),
+            )
+            for entry in _require(data, "regions", "problem")
+        ]
+        connections = [
+            Connection(
+                source=str(_require(entry, "source", "connection")),
+                target=str(_require(entry, "target", "connection")),
+                weight=float(entry.get("weight", 1.0)),
+            )
+            for entry in data.get("connections", ())
+        ]
+        pins = [
+            IOPin(
+                name=str(_require(entry, "name", "pin")),
+                col=int(_require(entry, "col", "pin")),
+                row=int(_require(entry, "row", "pin")),
+            )
+            for entry in data.get("pins", ())
+        ]
+        return FloorplanProblem(
+            device,
+            regions,
+            connections,
+            pins,
+            name=str(data.get("name") or "request"),
+        )
+    except ProtocolError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — request bodies are untrusted
+        raise ProtocolError(f"malformed problem spec: {exc}") from exc
+
+
+def relocation_from_list(
+    entries: Optional[Sequence[Mapping[str, object]]],
+) -> Optional[RelocationSpec]:
+    """Rebuild a relocation spec; an empty/missing list means none."""
+    if not entries:
+        return None
+    try:
+        return RelocationSpec(
+            RelocationRequest(
+                region=str(_require(entry, "region", "relocation request")),
+                copies=int(_require(entry, "copies", "relocation request")),
+                hard=bool(entry.get("hard", True)),
+                weight=float(entry.get("weight", 1.0)),
+            )
+            for entry in entries
+        )
+    except ProtocolError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — request bodies are untrusted
+        raise ProtocolError(f"malformed relocation spec: {exc}") from exc
+
+
+def job_from_dict(payload: Mapping[str, object]) -> SolveJob:
+    """Decode a request body into a validated, fingerprintable solve job."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"request body must be a JSON object, got {type(payload).__name__}")
+    problem = problem_from_dict(_require(payload, "problem", "request"))
+    weights_data = payload.get("weights")
+    try:
+        options = SolverOptions.from_dict(payload.get("options") or {})
+        weights = ObjectiveWeights(**weights_data) if weights_data else None
+        return SolveJob(
+            problem=problem,
+            relocation=relocation_from_list(payload.get("relocation")),
+            mode=str(payload.get("mode", "HO")),
+            options=options,
+            heuristic=str(payload.get("heuristic", "tessellation")),
+            weights=weights,
+            lexicographic=bool(payload.get("lexicographic", False)),
+            tag=str(payload.get("tag", "")),
+        )
+    except ProtocolError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — request bodies are untrusted
+        raise ProtocolError(f"invalid solve job: {exc}") from exc
+
+
+def job_to_dict(job: SolveJob) -> Dict[str, object]:
+    """Encode a job as a request body (the client half of the protocol)."""
+    data = job.spec_dict()
+    if job.tag:
+        data["tag"] = job.tag
+    return data
+
+
+def job_payloads(jobs: Sequence[SolveJob]) -> List[Dict[str, object]]:
+    """Encode a batch of jobs (convenience for load generators)."""
+    return [job_to_dict(job) for job in jobs]

@@ -1,0 +1,140 @@
+"""Worker shards: run solver batches off the gateway event loop.
+
+A :class:`WorkerPool` owns ``shards`` dedicated threads.  Each flushed batch
+occupies one shard thread, which runs it through the existing service-layer
+machinery — :class:`~repro.service.executor.BatchSolver` (default) or a
+:func:`~repro.service.portfolio.run_portfolio` race per unique job — so the
+event loop never blocks on a MILP.  The shard count bounds concurrent batch
+execution; ``batch_workers`` bounds intra-batch parallelism, giving
+``shards * batch_workers`` as the solver-process/thread ceiling.
+
+The pool shares the gateway's :class:`~repro.service.cache.SolveCache`, so
+results solved here are the cache hits the next request is answered with
+inline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.service.cache import SolveCache
+from repro.service.executor import BatchSolver
+from repro.service.jobs import SolveJob
+from repro.service.results import JobResult
+
+__all__ = ["WorkerPool"]
+
+SOLVER_KINDS = ("batch", "portfolio")
+
+
+class WorkerPool:
+    """A fixed pool of shard threads executing solve batches.
+
+    Parameters
+    ----------
+    cache:
+        Shared solve cache (results land here; the gateway answers repeats
+        inline from it).
+    shards:
+        Number of batches that may execute concurrently.
+    batch_workers:
+        ``max_workers`` handed to each shard's :class:`BatchSolver`.
+    executor:
+        Executor kind inside a shard: ``"thread"`` (default — the scipy/HiGHS
+        backend releases the GIL during the solve), ``"process"`` or
+        ``"serial"``.
+    solver:
+        ``"batch"`` (one BatchSolver per batch) or ``"portfolio"`` (race the
+        default strategy portfolio per unique job; wins on hard instances,
+        costs a full portfolio per job).
+    portfolio_deadline:
+        Shared wall-clock budget per portfolio race (``solver="portfolio"``).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[SolveCache] = None,
+        shards: int = 2,
+        batch_workers: Optional[int] = None,
+        executor: str = "thread",
+        solver: str = "batch",
+        portfolio_deadline: Optional[float] = None,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if solver not in SOLVER_KINDS:
+            raise ValueError(f"solver must be one of {SOLVER_KINDS}, got {solver!r}")
+        self.cache = cache if cache is not None else SolveCache()
+        self.shards = shards
+        self.batch_workers = batch_workers
+        self.executor = executor
+        self.solver = solver
+        self.portfolio_deadline = portfolio_deadline
+        self._threads = ThreadPoolExecutor(
+            max_workers=shards, thread_name_prefix="repro-shard"
+        )
+
+    # ------------------------------------------------------------------
+    async def solve_batch(self, jobs: List[SolveJob]) -> Dict[str, JobResult]:
+        """Solve one (already deduplicated) batch on a shard thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._threads, self._solve_sync, list(jobs))
+
+    def _solve_sync(self, jobs: List[SolveJob]) -> Dict[str, JobResult]:
+        if self.solver == "portfolio":
+            return self._solve_portfolio(jobs)
+        # single-job batches (the max_batch=1 configuration, or a window that
+        # caught one request) run in-process: no point spawning a pool of one
+        executor = "serial" if len(jobs) == 1 else self.executor
+        solver = BatchSolver(
+            cache=self.cache, max_workers=self.batch_workers, executor=executor
+        )
+        results: Dict[str, JobResult] = {}
+        for _index, job, result in solver.iter_results(jobs):
+            results[job.fingerprint] = result
+        return results
+
+    def _solve_portfolio(self, jobs: List[SolveJob]) -> Dict[str, JobResult]:
+        from repro.service.portfolio import run_portfolio
+
+        results: Dict[str, JobResult] = {}
+        for job in jobs:
+            hit = self.cache.get(job.fingerprint)
+            if hit is not None:
+                import dataclasses
+
+                results[job.fingerprint] = dataclasses.replace(hit, cached=True)
+                continue
+            race = run_portfolio(
+                job.problem,
+                relocation=job.relocation,
+                options=job.options,
+                weights=job.weights,
+                deadline=self.portfolio_deadline,
+                policy="first_feasible",
+                executor="thread",
+                max_workers=self.batch_workers,
+            )
+            result = race.winner_result
+            if result is None:
+                # no strategy produced a feasible plan: surface the best
+                # attempt (sorted like the portfolio's own "best" policy)
+                outcomes = sorted(race.outcomes.values(), key=lambda r: r.objective_key())
+                result = outcomes[0] if outcomes else JobResult.failure(
+                    job, "portfolio produced no outcome"
+                )
+            # key the outcome by the *request* fingerprint so waiters find it
+            import dataclasses
+
+            result = dataclasses.replace(result, fingerprint=job.fingerprint)
+            if result.status != "error":
+                self.cache.put(result)
+            results[job.fingerprint] = result
+        return results
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting batches and (optionally) wait for running ones."""
+        self._threads.shutdown(wait=wait)

@@ -1,13 +1,21 @@
-"""Content-addressed solve-result cache (in-memory + JSON-on-disk).
+"""Content-addressed solve-result cache (bounded in-memory LRU + JSON-on-disk).
 
 Results are keyed by the :class:`~repro.service.jobs.SolveJob` fingerprint, so
 any two jobs with identical content — regardless of where or when they were
-built — share one cache entry.  The in-memory layer makes repeated lookups
-free inside one process; the optional directory layer persists every entry as
-``<fingerprint>.json`` so warm sweeps survive process restarts.
+built — share one cache entry.  The in-memory layer is a bounded LRU (the same
+capacity/eviction-counter contract as
+:class:`repro.runtime.manager.BitstreamCache`): repeated lookups are free
+inside one process, and sustained traffic cannot grow the map without limit.
+The optional directory layer persists every entry as ``<fingerprint>.json`` so
+warm sweeps survive process restarts — and so memory-evicted entries are still
+hits on their next lookup.
 
 Disk writes are atomic (write to a temp file, then :func:`os.replace`) so a
-killed run never leaves a truncated entry behind.
+killed run never leaves a truncated entry behind.  Corrupt (non-JSON) entries
+found at load time are deleted and recorded, so one bad file costs a re-solve
+instead of poisoning the request path forever; entries that are valid JSON
+but don't fit this build's schema are recorded as misses and left on disk —
+they may belong to a newer version sharing the directory.
 """
 
 from __future__ import annotations
@@ -16,19 +24,26 @@ import dataclasses
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
 from repro.service.results import JobResult
 
+#: Default in-memory LRU bound; ``capacity=None`` restores the unbounded map.
+DEFAULT_CAPACITY = 1024
+
 
 @dataclasses.dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`SolveCache`."""
+    """Hit/miss/eviction counters of one :class:`SolveCache`."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -45,6 +60,8 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
         }
 
@@ -57,58 +74,106 @@ class SolveCache:
     directory:
         Optional directory for the JSON persistence layer; created on demand.
         ``None`` keeps the cache purely in-memory.
+    capacity:
+        Bound on the in-memory LRU layer (:data:`DEFAULT_CAPACITY` entries by
+        default); the least-recently-used entry is evicted past the bound and
+        counted in ``stats.evictions``.  Disk entries are never evicted — an
+        evicted fingerprint is reloaded (and re-promoted) on its next lookup
+        when a directory is configured.  ``None`` disables the bound.
+
+    The cache is safe to share across the gateway event loop and worker-shard
+    threads: every memory-layer mutation happens under one lock.
     """
 
-    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        capacity: Optional[int] = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("cache capacity must be positive (or None for unbounded)")
         self.directory = Path(directory) if directory is not None else None
+        self.capacity = capacity
         self.stats = CacheStats()
-        self._memory: Dict[str, JobResult] = {}
+        self._memory: "OrderedDict[str, JobResult]" = OrderedDict()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> Optional[JobResult]:
-        """Look a result up, trying memory first, then disk."""
-        result = self._memory.get(fingerprint)
+        """Look a result up, trying memory first, then disk (LRU-refreshed)."""
+        with self._lock:
+            result = self._memory.get(fingerprint)
+            if result is not None:
+                self._memory.move_to_end(fingerprint)
         if result is None and self.directory is not None:
             result = self._load(fingerprint)
             if result is not None:
-                self._memory[fingerprint] = result
-        if result is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
+                with self._lock:
+                    self._memory[fingerprint] = result
+                    self._memory.move_to_end(fingerprint)
+                    self._evict_overflow()
+        with self._lock:
+            if result is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
         return result
 
     def put(self, result: JobResult) -> None:
         """Store a result under its fingerprint (memory + disk)."""
-        self.stats.stores += 1
-        self._memory[result.fingerprint] = result
+        with self._lock:
+            self.stats.stores += 1
+            self._memory[result.fingerprint] = result
+            self._memory.move_to_end(result.fingerprint)
+            self._evict_overflow()
         if self.directory is not None:
             self._dump(result)
 
     def __contains__(self, fingerprint: str) -> bool:
-        if fingerprint in self._memory:
-            return True
+        with self._lock:
+            if fingerprint in self._memory:
+                return True
         return self.directory is not None and self._path(fingerprint).exists()
 
     def __len__(self) -> int:
-        return len(set(self._memory) | set(self._disk_fingerprints()))
+        with self._lock:
+            memory = set(self._memory)
+        return len(memory | set(self._disk_fingerprints()))
+
+    @property
+    def memory_size(self) -> int:
+        """Entries currently held by the in-memory LRU layer."""
+        with self._lock:
+            return len(self._memory)
 
     def fingerprints(self) -> Iterator[str]:
         """Every cached fingerprint (memory and disk, deduplicated)."""
-        yield from sorted(set(self._memory) | set(self._disk_fingerprints()))
+        with self._lock:
+            memory = set(self._memory)
+        yield from sorted(memory | set(self._disk_fingerprints()))
 
     def clear(self, disk: bool = True) -> None:
         """Drop all entries (and, optionally, the persisted files)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if disk and self.directory is not None and self.directory.exists():
             for path in self.directory.glob("*.json"):
                 path.unlink()
 
     def drop_memory(self) -> None:
         """Forget the in-memory layer only (used to test disk round-trips)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     # ------------------------------------------------------------------
+    def _evict_overflow(self) -> None:
+        """Pop LRU-tail entries past capacity (caller holds the lock)."""
+        if self.capacity is None:
+            return
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
     def _path(self, fingerprint: str) -> Path:
         assert self.directory is not None
         return self.directory / f"{fingerprint}.json"
@@ -122,11 +187,33 @@ class SolveCache:
     def _load(self, fingerprint: str) -> Optional[JobResult]:
         path = self._path(fingerprint)
         try:
+            stamp = path.stat().st_mtime_ns
             with path.open("r", encoding="utf-8") as handle:
                 data = json.load(handle)
             result = JobResult.from_dict(data)
-        except (OSError, json.JSONDecodeError, TypeError, ValueError, KeyError):
-            return None  # unreadable or schema-mismatched entry -> miss, re-solve
+        except OSError:
+            return None  # unreadable (or plain missing) -> miss, re-solve
+        except json.JSONDecodeError:
+            # truncated or corrupt file (e.g. an interrupted write): delete it
+            # so the entry is re-solved exactly once instead of failing every
+            # lookup until someone cleans the directory by hand
+            with self._lock:
+                self.stats.corrupt += 1
+            try:
+                # guard against a concurrent writer having atomically replaced
+                # the bad file with a fresh valid entry since we read it
+                if path.stat().st_mtime_ns == stamp:
+                    path.unlink()
+            except OSError:
+                pass
+            return None
+        except (TypeError, ValueError, KeyError):
+            # valid JSON that doesn't fit this build's JobResult schema: a
+            # *newer* process sharing the directory may have written it, so
+            # leave the file alone and just miss
+            with self._lock:
+                self.stats.corrupt += 1
+            return None
         result.cached = False  # the flag describes this run, not the stored one
         return result
 

@@ -74,7 +74,10 @@ def problem_spec_dict(problem: FloorplanProblem) -> Dict[str, object]:
             for region in problem.regions
         ],
         "connections": [
-            {"source": c.source, "target": c.target, "weight": c.weight}
+            # weights canonicalize to float so Connection(weight=16) and
+            # Connection(weight=16.0) — and a job decoded back off the wire —
+            # hash identically
+            {"source": c.source, "target": c.target, "weight": float(c.weight)}
             for c in problem.connections
         ],
         "pins": [
@@ -92,9 +95,9 @@ def relocation_spec_dict(spec: Optional[RelocationSpec]) -> List[Dict[str, objec
         (
             {
                 "region": request.region,
-                "copies": request.copies,
-                "hard": request.hard,
-                "weight": request.weight,
+                "copies": int(request.copies),
+                "hard": bool(request.hard),
+                "weight": float(request.weight),
             }
             for request in spec.requests
         ),
@@ -149,13 +152,23 @@ class SolveJob:
     def spec_dict(self) -> Dict[str, object]:
         """The canonical content dictionary the fingerprint is computed over."""
         weights = self.weights or ObjectiveWeights.paper_default()
+        options = self.options.as_dict()
+        # canonicalize numeric option fields so int/float aliasing
+        # (time_limit=30 vs 30.0) and wire-decoded jobs hash identically
+        for key in ("time_limit", "mip_gap"):
+            if options.get(key) is not None:
+                options[key] = float(options[key])
+        options["max_nodes"] = int(options["max_nodes"])
         return {
             "problem": problem_spec_dict(self.problem),
             "relocation": relocation_spec_dict(self.relocation),
             "mode": self.mode,
-            "options": self.options.as_dict(),
+            "options": options,
             "heuristic": self.heuristic,
-            "weights": dataclasses.asdict(weights),
+            "weights": {
+                key: float(value)
+                for key, value in dataclasses.asdict(weights).items()
+            },
             "lexicographic": self.lexicographic,
         }
 

@@ -81,6 +81,69 @@ def test_runner_warmup_plus_repeats_call_counts():
     assert measurement.units == 3.0
 
 
+def test_runner_extras_and_teardown():
+    registry = BenchmarkRegistry()
+    events = []
+
+    @benchmark("srv.load", registry=registry)
+    def srv_load(profile):
+        def run():
+            workload.extras["p99_ms"] = 4.5
+            workload.extras["shed_rate"] = 0.0
+
+        workload = Workload(run, units=2.0, unit_name="requests")
+        workload.teardown = lambda: events.append("teardown")
+        return workload
+
+    measurement = run_benchmark(registry.get("srv.load"), BenchProfile.quick())
+    assert measurement.extras == {"p99_ms": 4.5, "shed_rate": 0.0}
+    assert events == ["teardown"]  # called exactly once, after the last round
+
+    report = summarize([measurement], "quick")
+    assert report.result("srv.load").extras["p99_ms"] == 4.5
+
+
+def test_runner_teardown_runs_even_when_a_round_raises():
+    registry = BenchmarkRegistry()
+    events = []
+
+    @benchmark("srv.boom", registry=registry)
+    def srv_boom(profile):
+        def run():
+            raise RuntimeError("round failed")
+
+        workload = Workload(run)
+        workload.teardown = lambda: events.append("teardown")
+        return workload
+
+    with pytest.raises(RuntimeError, match="round failed"):
+        run_benchmark(registry.get("srv.boom"), BenchProfile.quick())
+    assert events == ["teardown"]
+
+
+def test_report_extras_round_trip_and_optional(tmp_path):
+    registry = BenchmarkRegistry()
+
+    @benchmark("srv.extras", registry=registry)
+    def srv_extras(profile):
+        workload = Workload(lambda: None)
+        workload.extras["hit_rate"] = 1.0
+        return workload
+
+    measurement = run_benchmark(registry.get("srv.extras"), BenchProfile.quick())
+    report = summarize([measurement], "quick")
+    loaded = load_report(save_report(report, tmp_path / "extras.json"))
+    assert loaded.result("srv.extras").extras == {"hit_rate": 1.0}
+
+    # a pre-extras snapshot (no "extras" key anywhere) still loads
+    data = report.to_dict()
+    for entry in data["results"]:
+        entry.pop("extras", None)
+    legacy = tmp_path / "legacy.json"
+    legacy.write_text(json.dumps(data))
+    assert load_report(legacy).result("srv.extras").extras == {}
+
+
 def test_runner_rejects_non_workload_factories():
     registry = BenchmarkRegistry()
     registry.register(Benchmark(name="bad.case", group="bad", factory=lambda p: object()))

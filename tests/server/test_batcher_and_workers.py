@@ -1,0 +1,163 @@
+"""Micro-batcher coalescing/dedup/drain and worker-shard execution."""
+
+import asyncio
+
+import pytest
+
+from repro.milp import SolverOptions
+from repro.server.batcher import MicroBatcher
+from repro.server.workers import WorkerPool
+from repro.service.cache import SolveCache
+from repro.service.jobs import SolveJob
+from repro.service.results import JobResult
+from repro.workloads.synthetic import SyntheticWorkloadConfig, synthetic_problem
+
+
+def make_job(seed: int = 0, time_limit: float = 30.0) -> SolveJob:
+    problem = synthetic_problem(
+        config=SyntheticWorkloadConfig(num_regions=2, seed=seed)
+    )
+    return SolveJob(problem, options=SolverOptions(time_limit=time_limit, mip_gap=0.1))
+
+
+def canned_result(job: SolveJob) -> JobResult:
+    return JobResult(
+        fingerprint=job.fingerprint,
+        job_name=job.name,
+        status="optimal",
+        feasible=True,
+        objective=1.0,
+        solve_time=0.0,
+        wall_time=0.0,
+        backend="stub",
+        mode=job.mode,
+    )
+
+
+class RecordingSolver:
+    """A solve_batch stub that records batches and answers instantly."""
+
+    def __init__(self, delay: float = 0.0, fail: bool = False) -> None:
+        self.batches = []
+        self.delay = delay
+        self.fail = fail
+
+    async def __call__(self, jobs):
+        self.batches.append([job.fingerprint for job in jobs])
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        if self.fail:
+            raise RuntimeError("shard exploded")
+        return {job.fingerprint: canned_result(job) for job in jobs}
+
+
+class TestMicroBatcher:
+    def test_size_trigger_coalesces(self):
+        async def scenario():
+            solver = RecordingSolver()
+            batcher = MicroBatcher(solver, max_batch=3, max_wait=60.0)
+            jobs = [make_job(seed) for seed in range(3)]
+            results = await asyncio.gather(*(batcher.submit(job) for job in jobs))
+            assert len(solver.batches) == 1  # one flush at max_batch
+            assert sorted(solver.batches[0]) == sorted(j.fingerprint for j in jobs)
+            assert [r.fingerprint for r in results] == [j.fingerprint for j in jobs]
+
+        asyncio.run(scenario())
+
+    def test_window_trigger_flushes_partial_batch(self):
+        async def scenario():
+            solver = RecordingSolver()
+            batcher = MicroBatcher(solver, max_batch=100, max_wait=0.02)
+            result = await asyncio.wait_for(batcher.submit(make_job(1)), timeout=5.0)
+            assert result.status == "optimal"
+            assert len(solver.batches) == 1
+
+        asyncio.run(scenario())
+
+    def test_duplicates_deduplicated_and_fanned_out(self):
+        async def scenario():
+            solver = RecordingSolver()
+            batcher = MicroBatcher(solver, max_batch=4, max_wait=60.0)
+            job = make_job(7)
+            copies = [make_job(7) for _ in range(3)] + [make_job(8)]
+            results = await asyncio.gather(*(batcher.submit(j) for j in copies))
+            # the batch carried 2 unique fingerprints, not 4
+            assert len(solver.batches) == 1
+            assert len(solver.batches[0]) == 2
+            assert {r.fingerprint for r in results[:3]} == {job.fingerprint}
+            # first waiter of a fingerprint pays the solve, the rest are
+            # flagged as deduplicated copies
+            assert [r.cached for r in results[:3]] == [False, True, True]
+            assert results[3].cached is False
+
+        asyncio.run(scenario())
+
+    def test_worker_failure_fails_all_waiters(self):
+        async def scenario():
+            batcher = MicroBatcher(RecordingSolver(fail=True), max_batch=2, max_wait=60.0)
+            jobs = [make_job(1), make_job(2)]
+            results = await asyncio.gather(
+                *(batcher.submit(job) for job in jobs), return_exceptions=True
+            )
+            assert all(isinstance(r, RuntimeError) for r in results)
+
+        asyncio.run(scenario())
+
+    def test_queue_depth_tracks_pending_and_inflight(self):
+        async def scenario():
+            solver = RecordingSolver(delay=0.05)
+            batcher = MicroBatcher(solver, max_batch=2, max_wait=60.0)
+            assert batcher.queue_depth == 0
+            task_a = asyncio.ensure_future(batcher.submit(make_job(1)))
+            await asyncio.sleep(0)
+            assert batcher.queue_depth == 1  # pending in the window
+            task_b = asyncio.ensure_future(batcher.submit(make_job(2)))
+            await asyncio.sleep(0.01)
+            assert batcher.queue_depth == 2  # flushed, in flight
+            await asyncio.gather(task_a, task_b)
+            assert batcher.queue_depth == 0
+
+        asyncio.run(scenario())
+
+    def test_drain_flushes_and_refuses_new_work(self):
+        async def scenario():
+            solver = RecordingSolver(delay=0.02)
+            batcher = MicroBatcher(solver, max_batch=100, max_wait=60.0)
+            task = asyncio.ensure_future(batcher.submit(make_job(3)))
+            await asyncio.sleep(0)  # let the submit enqueue
+            await batcher.drain()
+            assert (await task).status == "optimal"
+            with pytest.raises(RuntimeError, match="draining"):
+                await batcher.submit(make_job(4))
+
+        asyncio.run(scenario())
+
+    def test_invalid_parameters(self):
+        solver = RecordingSolver()
+        with pytest.raises(ValueError):
+            MicroBatcher(solver, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(solver, max_wait=-1.0)
+
+
+class TestWorkerPool:
+    def test_solves_batch_off_loop_and_caches(self):
+        cache = SolveCache()
+        pool = WorkerPool(cache=cache, shards=1, executor="serial")
+        job = make_job(0, time_limit=30.0)
+
+        async def scenario():
+            results = await pool.solve_batch([job])
+            return results
+
+        results = asyncio.run(scenario())
+        result = results[job.fingerprint]
+        assert result.status != "error"
+        assert job.fingerprint in cache
+        pool.shutdown()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WorkerPool(shards=0)
+        with pytest.raises(ValueError):
+            WorkerPool(solver="magic")

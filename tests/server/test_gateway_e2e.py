@@ -1,0 +1,324 @@
+"""End-to-end gateway tests over real loopback HTTP.
+
+Most tests inject a stub worker pool so the HTTP/cache/batching/admission
+paths are exercised without MILP solves; one test runs a real solve through
+the full stack.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.gateway import BackgroundGateway, GatewayConfig
+from repro.server.loadgen import GatewayClient, closed_loop, demo_payloads, open_loop
+from repro.service.cache import SolveCache
+from repro.service.results import JobResult
+
+
+class StubWorkerPool:
+    """Answers every job with a canned optimal result after ``delay``."""
+
+    def __init__(self, cache: SolveCache, delay: float = 0.0, fail: bool = False):
+        self.cache = cache
+        self.delay = delay
+        self.fail = fail
+        self.solved = 0
+
+    async def solve_batch(self, jobs):
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        results = {}
+        for job in jobs:
+            self.solved += 1
+            status = "error" if self.fail else "optimal"
+            result = JobResult(
+                fingerprint=job.fingerprint,
+                job_name=job.name,
+                status=status,
+                feasible=not self.fail,
+                objective=3.0,
+                solve_time=0.01,
+                wall_time=0.01,
+                backend="stub",
+                mode=job.mode,
+                error="stub failure" if self.fail else None,
+            )
+            if not self.fail:
+                self.cache.put(result)
+            results[job.fingerprint] = result
+        return results
+
+    def shutdown(self, wait: bool = True):
+        pass
+
+
+def stub_gateway(config=None, delay: float = 0.0, fail: bool = False):
+    cache = SolveCache()
+    pool = StubWorkerPool(cache, delay=delay, fail=fail)
+    config = config or GatewayConfig(port=0, batch_window=0.005)
+    return BackgroundGateway(config=config, cache=cache, worker_pool=pool), pool
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return demo_payloads(unique=3, time_limit=20.0)
+
+
+class TestRoutes:
+    def test_healthz_and_metrics(self, payloads):
+        gw, _pool = stub_gateway()
+        with gw:
+            async def scenario():
+                async with GatewayClient(gw.host, gw.port) as client:
+                    status, health = await client.healthz()
+                    assert status == 200 and health["status"] == "ok"
+                    status, metrics = await client.metrics()
+                    assert status == 200
+                    assert "counters" in metrics and "tables" in metrics
+                    status, _ = await client.request("GET", "/nope")
+                    assert status == 404
+                    status, _ = await client.request("GET", "/solve")
+                    assert status == 405
+
+            asyncio.run(scenario())
+
+    def test_bad_request_bodies(self, payloads):
+        gw, _pool = stub_gateway()
+        with gw:
+            async def scenario():
+                async with GatewayClient(gw.host, gw.port) as client:
+                    status, body = await client.request("POST", "/solve", {"nope": 1})
+                    assert status == 400 and "error" in body
+                    # raw non-JSON body
+                    client._writer.write(
+                        b"POST /solve HTTP/1.1\r\nHost: x\r\n"
+                        b"Content-Length: 9\r\n\r\nnot-json!"
+                    )
+                    await client._writer.drain()
+                    head = b""
+                    while b"\r\n\r\n" not in head:
+                        head += await client._reader.readline()
+                    assert b"400" in head.split(b"\r\n", 1)[0]
+
+            asyncio.run(scenario())
+
+    def test_oversized_header_answers_413_not_dropped(self, payloads):
+        gw, _pool = stub_gateway()
+        with gw:
+            async def scenario():
+                reader, writer = await asyncio.open_connection(gw.host, gw.port)
+                writer.write(
+                    b"GET /healthz HTTP/1.1\r\nX-Big: " + b"a" * (70 * 1024) + b"\r\n\r\n"
+                )
+                await writer.drain()
+                head = await reader.readline()
+                writer.close()
+                return head
+
+            head = asyncio.run(scenario())
+        assert b"413" in head
+
+    def test_unexpected_dispatch_error_answers_500(self, payloads, monkeypatch):
+        gw, _pool = stub_gateway()
+        with gw:
+            async def boom(request, client):
+                raise KeyError("surprise")
+
+            gw.gateway._dispatch = boom
+
+            async def scenario():
+                async with GatewayClient(gw.host, gw.port) as client:
+                    return await client.healthz()
+
+            status, body = asyncio.run(scenario())
+        assert status == 500
+        assert "KeyError" in body["error"]
+
+    def test_miss_then_hit_flow(self, payloads):
+        gw, pool = stub_gateway()
+        with gw:
+            async def scenario():
+                async with GatewayClient(gw.host, gw.port) as client:
+                    status, body = await client.solve(payloads[0])
+                    assert status == 200
+                    assert body["cached"] is False
+                    assert body["result"]["status"] == "optimal"
+                    status, body = await client.solve(payloads[0])
+                    assert status == 200
+                    assert body["cached"] is True
+
+            asyncio.run(scenario())
+        assert pool.solved == 1  # second request never reached the workers
+
+    def test_solver_error_maps_to_500(self, payloads):
+        gw, _pool = stub_gateway(fail=True)
+        with gw:
+            async def scenario():
+                async with GatewayClient(gw.host, gw.port) as client:
+                    status, body = await client.solve(payloads[0])
+                    assert status == 500
+                    assert body["result"]["error"] == "stub failure"
+
+            asyncio.run(scenario())
+
+    def test_error_results_are_not_cached(self, payloads):
+        gw, pool = stub_gateway(fail=True)
+        with gw:
+            async def scenario():
+                async with GatewayClient(gw.host, gw.port) as client:
+                    await client.solve(payloads[0])
+                    await client.solve(payloads[0])
+
+            asyncio.run(scenario())
+        assert pool.solved == 2  # both attempts executed, neither cached
+
+
+class TestAdmission:
+    def test_queue_full_sheds_with_429(self, payloads):
+        config = GatewayConfig(port=0, max_queue_depth=1, batch_window=0.2, max_batch=100)
+        gw, _pool = stub_gateway(config=config, delay=0.2)
+        with gw:
+            async def scenario():
+                result = await closed_loop(
+                    gw.host, gw.port, payloads, clients=6, requests_per_client=1
+                )
+                return result
+
+            result = asyncio.run(scenario())
+        assert result.shed >= 1
+        assert result.ok >= 1
+        assert gw.gateway.metrics.shed_queue_full == result.shed
+
+    def test_rate_limit_sheds_with_429(self, payloads):
+        config = GatewayConfig(port=0, rate_limit=1.0, rate_burst=2.0)
+        gw, _pool = stub_gateway(config=config)
+        with gw:
+            async def scenario():
+                async with GatewayClient(gw.host, gw.port, client_id="hog") as client:
+                    statuses = []
+                    for _ in range(5):
+                        status, body = await client.solve(payloads[0])
+                        statuses.append((status, body.get("reason")))
+                    return statuses
+
+            statuses = asyncio.run(scenario())
+        shed = [reason for status, reason in statuses if status == 429]
+        assert shed and all(reason == "rate_limited" for reason in shed)
+        assert statuses[0][0] == 200  # the burst admitted the first request
+
+    def test_spinning_client_ids_cannot_bypass_rate_limit(self, payloads):
+        # by default the header is untrusted: buckets key on the peer address,
+        # so a fresh X-Client-Id per request gets no fresh burst
+        config = GatewayConfig(port=0, rate_limit=1.0, rate_burst=2.0)
+        gw, _pool = stub_gateway(config=config)
+        with gw:
+            async def scenario():
+                statuses = []
+                for index in range(5):
+                    async with GatewayClient(
+                        gw.host, gw.port, client_id=f"spin-{index}"
+                    ) as client:
+                        status, _body = await client.solve(payloads[0])
+                        statuses.append(status)
+                return statuses
+
+            statuses = asyncio.run(scenario())
+        assert statuses.count(429) >= 2  # the spin did not mint new buckets
+
+    def test_trusted_client_ids_get_per_client_buckets(self, payloads):
+        config = GatewayConfig(
+            port=0, rate_limit=1.0, rate_burst=1.0, trust_client_id=True
+        )
+        gw, _pool = stub_gateway(config=config)
+        with gw:
+            async def scenario():
+                statuses = []
+                for name in ("alice", "bob"):
+                    async with GatewayClient(gw.host, gw.port, client_id=name) as client:
+                        status, _body = await client.solve(payloads[0])
+                        statuses.append(status)
+                return statuses
+
+            statuses = asyncio.run(scenario())
+        assert statuses == [200, 200]  # each trusted id has its own burst
+
+    def test_draining_gateway_answers_503(self, payloads):
+        gw, _pool = stub_gateway()
+        try:
+            async def warm():
+                async with GatewayClient(gw.host, gw.port) as client:
+                    await client.solve(payloads[0])
+
+            asyncio.run(warm())
+            # flip the drain flag directly: the listener still answers
+            gw.gateway._draining = True
+
+            async def probe():
+                async with GatewayClient(gw.host, gw.port) as client:
+                    status, _body = await client.solve(payloads[0])
+                    health_status, health = await client.healthz()
+                    return status, health_status, health
+
+            status, health_status, health = asyncio.run(probe())
+            assert status == 503
+            assert health_status == 200 and health["status"] == "draining"
+        finally:
+            gw.stop()
+
+
+class TestWarmHitRate:
+    def test_warm_repeat_run_hit_rate_end_to_end(self, payloads):
+        """The acceptance check: warm-cache repeat traffic >= 0.9 hit rate
+        measured end to end through the HTTP path."""
+        gw, _pool = stub_gateway()
+        with gw:
+            async def scenario():
+                cold = await closed_loop(
+                    gw.host, gw.port, payloads, clients=3, requests_per_client=4
+                )
+                warm = await closed_loop(
+                    gw.host, gw.port, payloads, clients=3, requests_per_client=4
+                )
+                return cold, warm
+
+            cold, warm = asyncio.run(scenario())
+        assert cold.ok == 12 and warm.ok == 12
+        assert warm.hit_rate >= 0.9
+        assert gw.gateway.metrics.hit_rate > 0.5
+
+    def test_open_loop_against_warm_gateway(self, payloads):
+        gw, _pool = stub_gateway()
+        with gw:
+            async def scenario():
+                await closed_loop(gw.host, gw.port, payloads, clients=1,
+                                  requests_per_client=len(payloads))
+                return await open_loop(
+                    gw.host, gw.port, payloads, rate=200.0, horizon=0.3, seed=3
+                )
+
+            result = asyncio.run(scenario())
+        assert result.sent > 0
+        assert result.errors == 0
+        assert result.hit_rate >= 0.9
+
+
+class TestRealSolveEndToEnd:
+    def test_one_real_milp_solve_through_http(self):
+        """Full stack, no stubs: HTTP -> protocol -> batcher -> BatchSolver."""
+        payload = demo_payloads(unique=1, time_limit=30.0)[0]
+        config = GatewayConfig(port=0, shards=1, batch_workers=1, executor="serial")
+        with BackgroundGateway(config) as gw:
+            async def scenario():
+                async with GatewayClient(gw.host, gw.port) as client:
+                    status, body = await client.solve(payload)
+                    assert status == 200, body
+                    assert body["result"]["feasible"] is True
+                    assert body["cached"] is False
+                    status, body = await client.solve(payload)
+                    assert status == 200
+                    assert body["cached"] is True
+                    return json.loads(json.dumps(body))  # payload is JSON-clean
+
+            body = asyncio.run(scenario())
+        assert body["result"]["floorplan"] is not None

@@ -120,6 +120,80 @@ class TestBatchSolver:
         assert report.hit_rate == 1.0
 
 
+class TestBatchSolverErrorPaths:
+    """Worker exception capture and streaming semantics across executor kinds.
+
+    Error jobs use an unknown MILP backend, which raises inside the worker's
+    ``execute_job`` regardless of executor kind — so the same failure shape is
+    exercised in-process (serial), on pool threads and (above, via the module
+    fixtures) in pool processes.
+    """
+
+    @staticmethod
+    def failing_job(template):
+        return type(template)(
+            problem=template.problem,
+            options=SolverOptions(backend="no-such-backend"),
+        )
+
+    @pytest.mark.parametrize("kind", ["serial", "thread"])
+    def test_worker_exception_captured_per_executor(self, grid_jobs, kind):
+        solver = BatchSolver(executor=kind, max_workers=2)
+        report = solver.solve_all([self.failing_job(grid_jobs[0])])
+        assert report.num_errors == 1
+        result = report.results[0]
+        assert result.status == "error" and not result.feasible
+        assert "no-such-backend" in result.error
+        assert result.objective != result.objective  # NaN sentinel
+
+    def test_error_results_never_enter_the_cache(self, grid_jobs):
+        solver = BatchSolver(executor="thread", max_workers=2)
+        bad = self.failing_job(grid_jobs[0])
+        solver.solve_all([bad])
+        assert bad.fingerprint not in solver.cache
+        assert solver.cache.stats.stores == 0
+        # ... so the next batch retries it (and fails again) instead of
+        # replaying a cached failure
+        retry = solver.solve_all([bad])
+        assert retry.num_errors == 1
+        assert not retry.results[0].cached
+
+    @pytest.mark.parametrize("kind", ["serial", "thread"])
+    def test_mixed_batch_keeps_good_results(self, cold_report, grid_jobs, shared_cache, kind):
+        # a failing job in the batch must not poison its siblings (the good
+        # job is already cached by the module's cold solve -> no new MILP run)
+        solver = BatchSolver(cache=shared_cache, executor=kind, max_workers=2)
+        report = solver.solve_all([grid_jobs[0], self.failing_job(grid_jobs[0])])
+        assert [result.status == "error" for result in report.results] == [False, True]
+        assert report.num_errors == 1
+        assert report.results[0].feasible
+
+    def test_duplicate_fingerprint_streaming_order(self, cold_report, grid_jobs, shared_cache):
+        # warm cache: hits stream first; for a cold duplicate group the first
+        # yielded copy is the solve (cached=False) and the rest are fan-outs
+        template = grid_jobs[0]
+        fresh = type(template)(
+            problem=template.problem,
+            options=FAST.replace(time_limit=29),  # distinct fingerprint, same work
+        )
+        jobs = [grid_jobs[1], fresh, fresh, fresh]
+        solver = BatchSolver(cache=shared_cache, executor="serial")
+        streamed = list(solver.iter_results(jobs))
+        # the warm job (index 0) streams before the cold duplicate group
+        assert streamed[0][0] == 0 and streamed[0][2].cached
+        cold = [(index, result) for index, _job, result in streamed[1:]]
+        assert sorted(index for index, _ in cold) == [1, 2, 3]
+        flags = [result.cached for index, result in sorted(cold)]
+        assert flags == [False, True, True]
+        # every copy shares the one solved record's content
+        assert len({result.fingerprint for _, result in cold}) == 1
+
+    def test_thread_executor_warm_replay(self, cold_report, grid_jobs, shared_cache):
+        warm = BatchSolver(cache=shared_cache, executor="thread").solve_all(grid_jobs)
+        assert warm.cache_hits == len(grid_jobs)
+        assert warm.num_errors == 0
+
+
 class TestSweepJobs:
     def test_grid_shape_and_order(self, grid_jobs):
         # devices x configs x relocations x modes, relocation innermost-but-one

@@ -135,16 +135,26 @@ class TestSolveCache:
         assert hit.wasted_frames == 4
         assert hit.cached is False  # the flag describes this run
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_is_deleted(self, tmp_path):
         cache = SolveCache(tmp_path)
-        (tmp_path / f"{'a' * 64}.json").write_text("{not json")
+        bad = tmp_path / f"{'a' * 64}.json"
+        bad.write_text("{not json")  # a truncated/interrupted write
         assert cache.get("a" * 64) is None
+        assert cache.stats.misses == 1 and cache.stats.corrupt == 1
+        assert not bad.exists()  # deleted: re-solved once, not failing forever
+        # the slot is fully usable again after the cleanup
+        cache.put(make_result(fingerprint="a" * 64))
+        assert cache.get("a" * 64) is not None
 
-    def test_schema_mismatched_entry_is_a_miss(self, tmp_path):
+    def test_schema_mismatched_entry_is_a_miss_but_kept(self, tmp_path):
         cache = SolveCache(tmp_path)
-        # valid JSON from an incompatible (older/newer) JobResult schema
-        (tmp_path / f"{'b' * 64}.json").write_text('{"fingerprint": "x"}')
+        # valid JSON from an incompatible JobResult schema: possibly written
+        # by a NEWER process sharing the directory, so it must not be deleted
+        bad = tmp_path / f"{'b' * 64}.json"
+        bad.write_text('{"fingerprint": "x", "future_field": 1}')
         assert cache.get("b" * 64) is None
+        assert cache.stats.corrupt == 1
+        assert bad.exists()
 
     def test_clear_and_len(self, tmp_path):
         cache = SolveCache(tmp_path)
@@ -161,6 +171,56 @@ class TestSolveCache:
         stats = CacheStats(hits=3, misses=1)
         assert stats.lookups == 4
         assert stats.hit_rate == 0.75
+        assert set(stats.as_dict()) >= {"hits", "misses", "evictions", "corrupt"}
+
+
+class TestSolveCacheLRU:
+    def test_capacity_bounds_memory_with_eviction_counters(self):
+        cache = SolveCache(capacity=2)
+        fps = ["1" * 64, "2" * 64, "3" * 64]
+        for fp in fps:
+            cache.put(make_result(fingerprint=fp))
+        assert cache.memory_size == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(fps[0]) is None  # the LRU head was evicted
+        assert cache.get(fps[2]) is not None
+
+    def test_get_refreshes_recency(self):
+        cache = SolveCache(capacity=2)
+        first, second, third = "1" * 64, "2" * 64, "3" * 64
+        cache.put(make_result(fingerprint=first))
+        cache.put(make_result(fingerprint=second))
+        assert cache.get(first) is not None  # refresh: second is now LRU
+        cache.put(make_result(fingerprint=third))
+        assert cache.get(first) is not None
+        assert cache.get(second) is None  # evicted instead of first
+
+    def test_memory_eviction_keeps_disk_entries(self, tmp_path):
+        cache = SolveCache(tmp_path, capacity=1)
+        first, second = "1" * 64, "2" * 64
+        cache.put(make_result(fingerprint=first))
+        cache.put(make_result(fingerprint=second))  # evicts `first` from memory
+        assert cache.memory_size == 1
+        assert len(cache) == 2  # both persisted
+        hit = cache.get(first)  # reloaded from disk and re-promoted
+        assert hit is not None
+        assert cache.stats.hits == 1
+        assert cache.memory_size == 1  # promotion evicted `second` from memory
+
+    def test_unbounded_when_capacity_none(self):
+        cache = SolveCache(capacity=None)
+        for index in range(2000):
+            cache.put(make_result(fingerprint=format(index, "064x")))
+        assert cache.memory_size == 2000
+        assert cache.stats.evictions == 0
+
+    def test_default_capacity_is_bounded(self):
+        cache = SolveCache()
+        assert cache.capacity is not None and cache.capacity > 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SolveCache(capacity=0)
 
 
 class TestConfigGrid:
