@@ -13,8 +13,15 @@ Run with::
     python examples/serve_and_load.py
 """
 
+import time
+
 from repro.server import BackgroundGateway, GatewayConfig
 from repro.server.loadgen import demo_payloads, run_closed_loop, run_open_loop
+
+
+def burst_refill_s(config: GatewayConfig) -> float:
+    """Seconds for an empty token bucket to refill to its full burst."""
+    return config.rate_burst / config.rate_limit
 
 
 def main() -> None:
@@ -39,7 +46,10 @@ def main() -> None:
         )
         print("cold closed-loop:", cold.summary())
 
-        # 3. warm replay: identical requests -> served inline from the cache
+        # 3. warm replay: identical requests -> served inline from the cache.
+        #    let the rate-limit bucket refill first: a fast cold run can end
+        #    with it drained, and the warm replay is near-instant (all hits)
+        time.sleep(burst_refill_s(config))
         warm = run_closed_loop(
             background.host, background.port, payloads, clients=4, requests_per_client=4
         )

@@ -116,6 +116,14 @@ from repro.server import (
     GatewayConfig,
     SolveGateway,
 )
+from repro.fleet import (
+    BackgroundFleet,
+    FleetConfig,
+    FleetManager,
+    FleetRouter,
+    HashRing,
+    RouterConfig,
+)
 from repro.sim import (
     InhomogeneousPoissonTraffic,
     MMPPTraffic,
@@ -209,6 +217,13 @@ __all__ = [
     "SolveGateway",
     "GatewayConfig",
     "BackgroundGateway",
+    # fleet
+    "HashRing",
+    "FleetConfig",
+    "FleetManager",
+    "RouterConfig",
+    "FleetRouter",
+    "BackgroundFleet",
     # online simulation
     "SimulationEngine",
     "SimConfig",

@@ -165,16 +165,19 @@ def throughput_sweep_jobs(
     )
 
 
-def server_payloads(unique: int = 4) -> list:
-    """Request bodies for the ``server.*`` gateway benchmarks.
+def server_payloads(unique: int = 4, heavy: bool = False) -> list:
+    """Request bodies for the ``server.*`` and ``fleet.*`` benchmarks.
 
     Small two-region instances with distinct fingerprints (the connection
     weight varies), each solving in a few hundred milliseconds — so the
     cache-miss benchmarks measure batching and dispatch, not MILP asymptotics.
+    ``heavy=True`` switches to ~1-2 s three-region instances for the fleet
+    benchmarks, where the solve must dominate multi-process coordination
+    overhead for work-collapse margins to be attributable.
     """
     from repro.server.loadgen import demo_payloads
 
-    return demo_payloads(unique=unique, time_limit=bench_time_limit(20.0))
+    return demo_payloads(unique=unique, time_limit=bench_time_limit(20.0), heavy=heavy)
 
 
 def random_rect_state(

@@ -491,6 +491,240 @@ def server_miss_unbatched(profile: BenchProfile) -> Workload:
 
 
 # ----------------------------------------------------------------------
+# fleet: multi-process replicas behind the consistent-hash router
+# ----------------------------------------------------------------------
+#: Per-replica knobs of the fleet cache-miss benchmarks: no micro-batch
+#: window, so within one process every request dispatches as its own
+#: single-job batch.  This is the same unbatched ablation shape as
+#: ``server.miss_unbatched`` — it makes duplicate-collapse attributable to
+#: the cache tier's cross-replica single-flight, not in-process coalescing.
+_FLEET_UNBATCHED = ("--max-batch", "1", "--batch-window", "0")
+
+
+def _fleet_miss_rounds(profile: BenchProfile, per_round: int):
+    """Fresh-fingerprint payload batches, one per warmup/timed round.
+
+    Cache-miss rounds cannot be reset by clearing the shared directory — the
+    replicas hold in-memory LRU copies a parent process cannot reach.  Fresh
+    fingerprints per round make every round a true miss regardless.  The
+    payloads are the heavy (~1-2 s) instances: collapsing duplicate *solves*
+    is only visible when a solve costs far more than the lock/poll/HTTP
+    coordination spent collapsing it.
+    """
+    rounds = profile.warmup + profile.repeats + 2  # +2 slack for re-runs
+    pool = scenarios.server_payloads(unique=rounds * per_round, heavy=True)
+    return [pool[index * per_round : (index + 1) * per_round] for index in range(rounds)]
+
+
+def _fleet_workload(
+    profile: BenchProfile,
+    replicas: int,
+    clients: int,
+    per_round: int,
+    direct: bool,
+    server_args=_FLEET_UNBATCHED,
+):
+    """Shared shape of the ``fleet.*`` cache-miss benchmarks.
+
+    A :class:`~repro.fleet.BackgroundFleet` (replica processes + router) is
+    started once in setup; each timed round throws one closed-loop burst of
+    *fresh-fingerprint* payloads at it.  ``direct=True`` round-robins the
+    clients over the replica ports themselves (the cross-replica single-
+    flight shape); ``direct=False`` sends everything through the router.
+    Per-round extras record fleet-wide solve counts scraped from the
+    router's ``/metrics`` roll-up, so the snapshot carries the
+    work-collapse evidence (``solves_per_unique``) alongside the latency
+    numbers.
+    """
+    import tempfile
+
+    from repro.fleet import BackgroundFleet
+    from repro.server.loadgen import fetch_metrics_json, run_fleet_closed_loop
+
+    rounds = _fleet_miss_rounds(profile, per_round)
+    fleet = BackgroundFleet(
+        replicas=replicas,
+        cache_dir=tempfile.mkdtemp(prefix="repro-bench-fleet-"),
+        server_args=server_args,
+    )
+    state = {"round": 0, "stores": 0.0, "flight_waits": 0.0}
+
+    def run():
+        batch = rounds[state["round"] % len(rounds)]
+        state["round"] += 1
+        targets = fleet.manager.addresses if direct else [(fleet.host, fleet.port)]
+        result = run_fleet_closed_loop(
+            targets, batch, clients=clients, requests_per_client=1
+        )
+        rollup = fetch_metrics_json(fleet.host, fleet.port)
+        stores = float(rollup["cache"]["stores"])
+        flight_waits = float(rollup["counters"]["flight_waits"])
+        workload.units = float(result.sent)
+        workload.extras.update(
+            {
+                "throughput_rps": round(result.throughput, 3),
+                "p50_ms": round(result.p50_s * 1e3, 3),
+                "p99_ms": round(result.p99_s * 1e3, 3),
+                "errors": float(result.errors),
+                "unique_jobs": float(per_round),
+                "solves_fleetwide": stores - state["stores"],
+                "solves_per_unique": (stores - state["stores"]) / per_round,
+                "flight_waits": flight_waits - state["flight_waits"],
+            }
+        )
+        state["stores"] = stores
+        state["flight_waits"] = flight_waits
+        return result
+
+    workload = Workload(run, units=float(clients), unit_name="requests")
+    workload.teardown = fleet.stop
+    return workload
+
+
+@benchmark("fleet.herd_single")
+def fleet_herd_single(profile: BenchProfile) -> Workload:
+    """The no-dedup baseline for the duplicate-miss herd: one gateway in the
+    ``server.miss_unbatched`` ablation shape.
+
+    8 concurrent requests over 2 unique jobs, fresh fingerprints per round,
+    ``max_batch=1`` over the wide ``_MISS_SHAPE`` shard pool — the exact
+    configuration ``server.miss_unbatched`` publishes as "every concurrent
+    duplicate races its twin and pays its own full solve" (narrow shard
+    pools dedup repeats per shard through the BatchSolver's fingerprint
+    cache; the wide pool is what removes coalescing *everywhere*).  This is
+    the cost of duplicate misses with no collapse mechanism at any layer;
+    ``fleet.herd_fleet4`` shows the same herd with fleet-wide single-flight.
+    """
+    from repro.server.gateway import GatewayConfig
+    from repro.server.loadgen import run_closed_loop
+
+    rounds = _fleet_miss_rounds(profile, 2)
+    state = {"round": 0, "batches": 0.0}
+
+    from repro.server.gateway import BackgroundGateway
+
+    background = BackgroundGateway(
+        GatewayConfig(port=0, max_batch=1, batch_window=0.0, **_MISS_SHAPE)
+    )
+    gateway = background.gateway
+
+    def run():
+        batch = rounds[state["round"] % len(rounds)]
+        state["round"] += 1
+        result = run_closed_loop(
+            background.host, background.port, batch,
+            clients=8, requests_per_client=1,
+        )
+        batches = float(gateway.metrics.batches)
+        workload.units = float(result.sent)
+        workload.extras.update(
+            {
+                "throughput_rps": round(result.throughput, 3),
+                "p50_ms": round(result.p50_s * 1e3, 3),
+                "p99_ms": round(result.p99_s * 1e3, 3),
+                "errors": float(result.errors),
+                "unique_jobs": 2.0,
+                "solves_fleetwide": batches - state["batches"],
+                "solves_per_unique": (batches - state["batches"]) / 2.0,
+            }
+        )
+        state["batches"] = batches
+        return result
+
+    workload = Workload(run, units=8.0, unit_name="requests")
+    workload.teardown = background.stop
+    return workload
+
+
+@benchmark("fleet.herd_fleet4")
+def fleet_herd_fleet4(profile: BenchProfile) -> Workload:
+    """The same duplicate-miss herd against a 4-replica fleet.
+
+    Identical load as ``fleet.herd_single``, but the duplicates are
+    deliberately spread over the replica *ports* (bypassing the router,
+    whose fingerprint affinity would hide the mechanism): the replicas meet
+    in the shared cache tier, the per-fingerprint lock files elect one
+    solver per unique job, and everyone else serves the stored result.  The
+    snapshot's acceptance evidence: ``solves_per_unique == 1`` (8 duplicate
+    misses → 2 solves fleet-wide, where the baseline pays 8) and a ≥2×
+    closed-loop throughput margin over ``fleet.herd_single`` — the margin is
+    work collapse, which is why it survives even a single-core runner where
+    CPU-parallel replica scaling is physically unavailable.
+    """
+    return _fleet_workload(profile, replicas=4, clients=8, per_round=2, direct=True)
+
+
+@benchmark("fleet.miss_r1")
+def fleet_miss_r1(profile: BenchProfile) -> Workload:
+    """Distinct-fingerprint misses through the router, 1 replica.
+
+    The honest replica-scaling pair (with ``fleet.miss_r4``): 4 concurrent
+    clients, 4 unique jobs per round, no duplicates — so single-flight never
+    fires and the margin is pure multi-process parallelism.  On a
+    multi-core host r4 approaches linear scaling; on a single-core runner
+    (like the box that produced ``BENCH_fleet.json``) the pair is ~flat and
+    documents exactly that.
+    """
+    return _fleet_workload(profile, replicas=1, clients=4, per_round=4, direct=False)
+
+
+@benchmark("fleet.miss_r4")
+def fleet_miss_r4(profile: BenchProfile) -> Workload:
+    """Distinct-fingerprint misses through the router, 4 replicas.
+
+    See ``fleet.miss_r1`` — this is the scaled half of the pair.
+    """
+    return _fleet_workload(profile, replicas=4, clients=4, per_round=4, direct=False)
+
+
+@benchmark("fleet.router_closed_loop")
+def fleet_router_closed_loop(profile: BenchProfile) -> Workload:
+    """Warm-cache serving *through the router*: the frontend's overhead.
+
+    The fleet analogue of ``server.gateway_closed_loop`` — same closed-loop
+    hit traffic, but every request additionally pays the router's decode,
+    ring lookup and upstream hop.  Guards routing-path regressions.
+    """
+    import tempfile
+
+    from repro.fleet import BackgroundFleet
+    from repro.server.loadgen import run_closed_loop
+
+    requests = profile.scaled(10, 40)
+    payloads = scenarios.server_payloads(unique=4)
+    fleet = BackgroundFleet(
+        replicas=2,
+        cache_dir=tempfile.mkdtemp(prefix="repro-bench-fleet-"),
+        server_args=(),  # default batching: this benchmark serves hits
+    )
+
+    def run():
+        result = run_closed_loop(
+            fleet.host, fleet.port, payloads,
+            clients=4, requests_per_client=requests,
+        )
+        workload.units = float(result.sent)
+        workload.extras.update(
+            {
+                "throughput_rps": round(result.throughput, 3),
+                "p50_ms": round(result.p50_s * 1e3, 3),
+                "p99_ms": round(result.p99_s * 1e3, 3),
+                "hit_rate": round(result.hit_rate, 6),
+            }
+        )
+        return result
+
+    workload = Workload(run, units=1.0, unit_name="requests")
+    workload.teardown = fleet.stop
+    try:
+        run()  # prefill: the timed rounds then serve warm hits end to end
+    except BaseException:
+        fleet.stop()
+        raise
+    return workload
+
+
+# ----------------------------------------------------------------------
 # runtime: reconfiguration manager
 # ----------------------------------------------------------------------
 @benchmark("runtime.reconfigure")

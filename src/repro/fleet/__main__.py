@@ -1,0 +1,119 @@
+"""Command-line entry point: ``python -m repro.fleet``.
+
+Spawns the replica fleet, starts the router frontend, and serves until
+SIGINT/SIGTERM.  On shutdown the router drains first (so clients get clean
+503s instead of resets), then the replicas are stopped, then the fleet-wide
+metrics roll-up is printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+import tempfile
+from typing import Optional, Sequence
+
+from repro.fleet.manager import FleetConfig, FleetManager
+from repro.fleet.router import FleetRouter, RouterConfig
+
+
+async def serve(
+    fleet_config: FleetConfig, router_config: RouterConfig, quiet: bool = False
+) -> None:
+    manager = FleetManager(fleet_config)
+    manager.start(wait_healthy=True)
+    router = FleetRouter(manager.addresses, router_config)
+    try:
+        await router.start()
+        if not quiet:
+            ports = ", ".join(str(port) for port in manager.ports)
+            print(
+                f"repro.fleet: {fleet_config.replicas} replica(s) on ports "
+                f"[{ports}], router on http://{router_config.host}:{router.port}, "
+                f"cache tier at {fleet_config.cache_dir}",
+                flush=True,
+            )
+
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):  # pragma: no cover
+                loop.add_signal_handler(signum, stop.set)
+
+        serve_task = asyncio.ensure_future(router.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        try:
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            if not quiet:
+                print("draining ...", flush=True)
+            serve_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serve_task
+            if not quiet:
+                # roll up while the replicas are still alive to answer
+                with contextlib.suppress(Exception):
+                    rollup = await router.metrics_rollup()
+                    print(rollup["tables"]["counters"], flush=True)
+            await router.drain()
+            stop_task.cancel()
+    finally:
+        manager.stop()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Serve floorplanning solves from a sharded replica fleet.",
+    )
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8770, help="router port")
+    parser.add_argument(
+        "--base-port", type=int, default=0,
+        help="first replica port (0 = ephemeral per replica)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="shared cache-tier directory (default: a fresh temp directory)",
+    )
+    parser.add_argument(
+        "--vnodes", type=int, default=RouterConfig.vnodes,
+        help="virtual nodes per replica on the hash ring",
+    )
+    parser.add_argument(
+        "--backoff-base", type=float, default=0.25,
+        help="first restart delay for a crashed replica (s)",
+    )
+    parser.add_argument(
+        "--server-arg", action="append", default=[], metavar="ARG",
+        help="extra argument passed through to every `python -m repro.server` "
+        "replica (repeatable, e.g. --server-arg=--max-batch --server-arg=16)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-fleet-cache-")
+    fleet_config = FleetConfig(
+        replicas=args.replicas,
+        host=args.host,
+        base_port=args.base_port,
+        cache_dir=cache_dir,
+        server_args=tuple(args.server_arg),
+        backoff_base=args.backoff_base,
+    )
+    router_config = RouterConfig(host=args.host, port=args.port, vnodes=args.vnodes)
+    try:
+        asyncio.run(serve(fleet_config, router_config, quiet=args.quiet))
+    except KeyboardInterrupt:  # pragma: no cover - ^C before the handler installs
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Synchronous fleet harness: manager + router behind one context manager.
+
+:class:`BackgroundFleet` is to the fleet what
+:class:`~repro.server.gateway.BackgroundGateway` is to a single gateway — the
+shared harness of the tests, the benchmarks, the scaling example and the
+load-generator fleet driver.  It spawns the replica processes through a
+:class:`~repro.fleet.manager.FleetManager`, waits for them to answer
+``/healthz``, then runs a :class:`~repro.fleet.router.FleetRouter` on a
+dedicated event-loop thread.  Clients talk to ``(host, port)`` exactly as they
+would to one gateway; everything behind the router is the fleet's business.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Sequence
+
+from repro.fleet.manager import FleetConfig, FleetManager
+from repro.fleet.router import FleetRouter, RouterConfig
+
+__all__ = ["BackgroundRouter", "BackgroundFleet"]
+
+
+class BackgroundRouter:
+    """Run a :class:`FleetRouter` on a dedicated event-loop thread."""
+
+    def __init__(self, router: FleetRouter, start_timeout: float = 10.0) -> None:
+        self.router = router
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-fleet-router", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self.router.start(), self._loop)
+        try:
+            future.result(timeout=start_timeout)
+        except BaseException:
+            # a failed bind must not leak the loop thread just started
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=start_timeout)
+            if not self._loop.is_running():
+                self._loop.close()
+            raise
+        self._stopped = False
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    @property
+    def port(self) -> int:
+        assert self.router.port is not None
+        return self.router.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain the router and stop the loop thread (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(self.router.drain(), self._loop)
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+            if not self._loop.is_running():
+                self._loop.close()
+
+    def __enter__(self) -> "BackgroundRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class BackgroundFleet:
+    """A whole fleet — replica processes plus routing frontend — as one
+    synchronous context manager.
+
+    Parameters
+    ----------
+    replicas:
+        Replica-process count.
+    cache_dir:
+        The shared cache-tier directory (required; see
+        :class:`~repro.fleet.manager.FleetConfig`).
+    server_args:
+        Extra ``python -m repro.server`` arguments for every replica.
+    fleet_config, router_config:
+        Full overrides; ``replicas``/``cache_dir``/``server_args`` are
+        ignored when ``fleet_config`` is given.
+    """
+
+    def __init__(
+        self,
+        replicas: int = 2,
+        cache_dir: str = "",
+        server_args: Sequence[str] = (),
+        fleet_config: Optional[FleetConfig] = None,
+        router_config: Optional[RouterConfig] = None,
+    ) -> None:
+        config = fleet_config or FleetConfig(
+            replicas=replicas, cache_dir=cache_dir, server_args=tuple(server_args)
+        )
+        self.manager = FleetManager(config)
+        self._router_harness: Optional[BackgroundRouter] = None
+        try:
+            self.manager.start(wait_healthy=True)
+            router = FleetRouter(
+                self.manager.addresses,
+                router_config or RouterConfig(host=config.host, port=0),
+            )
+            self._router_harness = BackgroundRouter(router)
+        except BaseException:
+            self.stop()
+            raise
+        self._stopped = False
+
+    @property
+    def router(self) -> FleetRouter:
+        assert self._router_harness is not None
+        return self._router_harness.router
+
+    @property
+    def host(self) -> str:
+        return self.manager.config.host
+
+    @property
+    def port(self) -> int:
+        """The router's bound port — the fleet's single client-facing address."""
+        assert self._router_harness is not None
+        return self._router_harness.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the router first (drains client traffic), then the replicas."""
+        if getattr(self, "_stopped", False):
+            return
+        self._stopped = True
+        try:
+            if self._router_harness is not None:
+                self._router_harness.stop(timeout=timeout)
+        finally:
+            self.manager.stop(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,538 @@
+"""The fleet's front door: consistent-hash routing over replica gateways.
+
+A :class:`FleetRouter` is a stdlib-asyncio HTTP frontend that owns no solver
+at all.  For every ``POST /solve`` it decodes the body into a fingerprint-
+exact :class:`~repro.service.jobs.SolveJob` (off the event loop, exactly like
+the gateway does) and forwards the request to the replica that **owns** that
+fingerprint on the :class:`~repro.fleet.hashing.HashRing`.  Ownership is what
+makes the fleet's caches compose: repeats of a job land where its entry is
+already memory-hot, and concurrent identical misses meet in one process where
+the micro-batcher dedups them before the cache tier's cross-replica lock
+files are even needed.
+
+Per-replica **keep-alive upstream pools** recycle connections between
+requests; an upstream that refuses or drops a connection is marked down for a
+cooldown and the request is retried on the next replica in the ring's
+deterministic preference order.  When the whole fleet is momentarily down
+(e.g. the only replica is mid-restart), the router keeps sweeping the
+preference list until ``retry_deadline`` — so killing a replica under load
+costs latency, never failed client requests, as long as the supervisor
+restarts it within the budget.
+
+``GET /metrics`` serves a **fleet-wide roll-up**: counters summed across the
+replicas' machine-readable ``/metrics?format=json`` documents, latency
+histograms merged bucket-by-bucket (:func:`repro.server.metrics.
+merge_raw_histograms` — exact, unlike averaging rendered percentiles), plus
+the router's own routing/retry counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import (
+    SERVER_COUNTER_HEADERS,
+    SIM_LATENCY_HEADERS,
+    format_table,
+    server_counter_rows,
+    sim_latency_rows,
+)
+from repro.fleet.hashing import DEFAULT_VNODES, HashRing
+from repro.server.http import HttpError, HttpRequest, read_request, write_response
+from repro.server.metrics import LatencyHistogram, merge_raw_histograms
+from repro.server.protocol import ProtocolError, job_from_dict
+
+__all__ = ["RouterConfig", "FleetRouter", "UpstreamError", "UpstreamPool"]
+
+#: Replica counter fields summed verbatim in the fleet roll-up.
+_SUMMED_COUNTERS = (
+    "received",
+    "ok",
+    "bad_requests",
+    "shed_rate_limited",
+    "shed_queue_full",
+    "rejected_draining",
+    "solve_errors",
+    "cache_hits",
+    "cache_misses",
+    "batches",
+    "batched_jobs",
+    "deduped_jobs",
+    "flight_waits",
+    "flight_takeovers",
+    "queue_depth",
+)
+
+_SUMMED_CACHE = (
+    "hits",
+    "misses",
+    "stores",
+    "evictions",
+    "corrupt",
+    "migrated",
+    "flights",
+    "stale_locks",
+    "corrupt_locks",
+)
+
+
+class UpstreamError(ConnectionError):
+    """A replica could not be reached or dropped the connection mid-request."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterConfig:
+    """Tunables of the router frontend.
+
+    Attributes
+    ----------
+    host, port:
+        Downstream listen address (``port=0`` binds an ephemeral port).
+    vnodes:
+        Virtual nodes per replica on the hash ring.
+    connect_timeout:
+        Seconds to establish one upstream connection.
+    upstream_idle_max:
+        Keep-alive connections pooled per replica.
+    down_cooldown:
+        Seconds a failed upstream is skipped before being probed again.
+    retry_deadline:
+        Total per-request retry budget across preference sweeps; the router
+        answers 503 only after the whole fleet stayed unreachable this long.
+    retry_wait:
+        Pause between full sweeps of the preference list.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8770
+    vnodes: int = DEFAULT_VNODES
+    connect_timeout: float = 2.0
+    upstream_idle_max: int = 16
+    down_cooldown: float = 0.5
+    retry_deadline: float = 15.0
+    retry_wait: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.retry_deadline <= 0 or self.retry_wait < 0:
+            raise ValueError("retry_deadline must be positive, retry_wait >= 0")
+
+
+class UpstreamPool:
+    """Keep-alive connection pool (and down marker) for one replica."""
+
+    def __init__(self, host: str, port: int, config: RouterConfig) -> None:
+        self.host = host
+        self.port = port
+        self.node = f"{host}:{port}"
+        self.config = config
+        self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._down_until = 0.0
+        self.routed = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def down(self) -> bool:
+        return time.monotonic() < self._down_until
+
+    def mark_down(self) -> None:
+        self.failures += 1
+        self._down_until = time.monotonic() + self.config.down_cooldown
+
+    def mark_up(self) -> None:
+        self._down_until = 0.0
+
+    # ------------------------------------------------------------------
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
+        """One round trip on a pooled connection; :class:`UpstreamError` on
+        any transport failure (the connection is discarded, never reused)."""
+        reader, writer = await self._checkout()
+        try:
+            lines = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: {self.node}",
+                f"Content-Length: {len(body)}",
+                "Content-Type: application/json",
+            ]
+            for name, value in (headers or {}).items():
+                lines.append(f"{name}: {value}")
+            writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+            await writer.drain()
+            status, response_headers, response_body = await self._read_response(reader)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError, EOFError) as exc:
+            self._discard(writer)
+            raise UpstreamError(f"{self.node}: {exc}") from exc
+        except asyncio.TimeoutError as exc:
+            self._discard(writer)
+            raise UpstreamError(f"{self.node}: connect timed out") from exc
+        keep = response_headers.get("connection", "keep-alive").lower() != "close"
+        if keep and len(self._idle) < self.config.upstream_idle_max:
+            self._idle.append((reader, writer))
+        else:
+            self._discard(writer)
+        self.mark_up()
+        return status, response_body
+
+    async def _checkout(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+            self._discard(writer)
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.config.connect_timeout,
+            )
+        except (ConnectionError, OSError) as exc:
+            raise UpstreamError(f"{self.node}: {exc}") from exc
+        except asyncio.TimeoutError as exc:
+            raise UpstreamError(f"{self.node}: connect timed out") from exc
+
+    @staticmethod
+    async def _read_response(reader) -> Tuple[int, Dict[str, str], bytes]:
+        status_line = await reader.readline()
+        if not status_line:
+            raise EOFError("upstream closed the connection")
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise EOFError(f"malformed upstream status line: {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise EOFError("upstream closed mid-headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await reader.readexactly(length) if length else b""
+        return status, headers, body
+
+    def _discard(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except (ConnectionError, OSError):
+            pass
+
+    async def close(self) -> None:
+        while self._idle:
+            _reader, writer = self._idle.pop()
+            self._discard(writer)
+
+
+@dataclasses.dataclass
+class RouterMetrics:
+    """The router's own counters (replica counters live in the roll-up)."""
+
+    received: int = 0  # solve requests accepted off the wire
+    routed: int = 0  # solve requests answered by an upstream
+    bad_requests: int = 0  # undecodable bodies answered 400 here
+    retries: int = 0  # forward attempts beyond the first
+    failovers: int = 0  # requests NOT answered by their ring owner
+    unavailable: int = 0  # 503s after the retry budget ran out
+    rejected_draining: int = 0
+
+    def __post_init__(self) -> None:
+        self.latency = LatencyHistogram()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "received": self.received,
+            "routed": self.routed,
+            "bad_requests": self.bad_requests,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "unavailable": self.unavailable,
+            "rejected_draining": self.rejected_draining,
+        }
+
+
+class FleetRouter:
+    """Listen, route, retry, roll up."""
+
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("a router needs at least one replica address")
+        self.config = config or RouterConfig()
+        self.pools: Dict[str, UpstreamPool] = {}
+        for host, port in addresses:
+            pool = UpstreamPool(host, port, self.config)
+            self.pools[pool.node] = pool
+        self.ring = HashRing(list(self.pools), vnodes=self.config.vnodes)
+        self.metrics = RouterMetrics()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle (mirrors SolveGateway so the CLI/harness code is shared)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def drain(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for pool in self.pools.values():
+            await pool.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
+                        writer, exc.status, {"error": str(exc)}, keep_alive=False
+                    )
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                try:
+                    status, payload, headers = await self._dispatch(request)
+                except Exception as exc:  # noqa: BLE001 — never kill the
+                    # connection without an answer
+                    status, headers = 500, None
+                    payload = {"error": f"{type(exc).__name__}: {exc}"}
+                keep_alive = request.keep_alive
+                await write_response(
+                    writer, status, payload, keep_alive=keep_alive, extra_headers=headers
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest):
+        path, _sep, query = request.path.partition("?")
+        route = (request.method, path)
+        if route == ("POST", "/solve"):
+            return await self._solve(request)
+        if route == ("GET", "/healthz"):
+            return 200, self._healthz(), None
+        if route == ("GET", "/metrics"):
+            raw = "format=json" in query.split("&")
+            return 200, await self.metrics_rollup(raw=raw), None
+        if path in ("/solve", "/healthz", "/metrics"):
+            return 405, {"error": f"{request.method} not allowed on {path}"}, None
+        return 404, {"error": f"no route for {request.method} {path}"}, None
+
+    # ------------------------------------------------------------------
+    # the solve route: decode -> ring -> forward with retries
+    # ------------------------------------------------------------------
+    async def _solve(self, request: HttpRequest):
+        self.metrics.received += 1
+        if self._draining:
+            self.metrics.rejected_draining += 1
+            return 503, {"error": "router is draining"}, {"Retry-After": "1"}
+        started = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        try:
+            # decode off the loop: the fingerprint needs the canonical job
+            # content, and device-grid rebuilds are CPU-bound
+            job = await loop.run_in_executor(
+                None, lambda: job_from_dict(request.json())
+            )
+        except (HttpError, ProtocolError) as exc:
+            self.metrics.bad_requests += 1
+            return 400, {"error": str(exc)}, None
+
+        forward_headers: Dict[str, str] = {}
+        client_id = request.header("x-client-id")
+        if client_id:
+            forward_headers["X-Client-Id"] = client_id
+
+        preference = list(self.ring.preference(job.fingerprint))
+        deadline = time.monotonic() + self.config.retry_deadline
+        attempt = 0
+        while True:
+            for rank, node in enumerate(preference):
+                pool = self.pools[node]
+                if pool.down and time.monotonic() < deadline:
+                    continue  # skip cooled-down upstreams while others remain
+                attempt += 1
+                if attempt > 1:
+                    self.metrics.retries += 1
+                try:
+                    status, body = await pool.request(
+                        "POST", "/solve", request.body, forward_headers
+                    )
+                except UpstreamError:
+                    pool.mark_down()
+                    continue
+                if status == 503:
+                    # the replica is draining (mid-restart): retryable, the
+                    # solve is idempotent and the cache absorbs duplicates
+                    pool.mark_down()
+                    continue
+                pool.routed += 1
+                self.metrics.routed += 1
+                if rank > 0:
+                    self.metrics.failovers += 1
+                self.metrics.latency.observe(time.perf_counter() - started)
+                return status, _RawJson(body), None
+            if time.monotonic() >= deadline:
+                break
+            # full sweep failed (or everything was cooling down): give the
+            # supervisor a beat to restart a replica, then sweep again
+            await asyncio.sleep(self.config.retry_wait)
+        self.metrics.unavailable += 1
+        return 503, {"error": "no replica reachable"}, {"Retry-After": "1"}
+
+    # ------------------------------------------------------------------
+    # health and the fleet-wide metrics roll-up
+    # ------------------------------------------------------------------
+    def _healthz(self) -> Dict[str, object]:
+        replicas = [
+            {"node": pool.node, "up": not pool.down, "routed": pool.routed}
+            for pool in self.pools.values()
+        ]
+        status = "draining" if self._draining else (
+            "ok" if any(r["up"] for r in replicas) else "degraded"
+        )
+        return {"status": status, "replicas": replicas}
+
+    async def _fetch_replica_metrics(self, pool: UpstreamPool) -> Optional[Dict]:
+        try:
+            status, body = await pool.request("GET", "/metrics?format=json")
+        except UpstreamError:
+            pool.mark_down()
+            return None
+        if status != 200:
+            return None
+        try:
+            return json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+    async def metrics_rollup(self, raw: bool = False) -> Dict[str, object]:
+        """Fleet-wide ``/metrics``: summed counters + merged histograms.
+
+        Replicas are scraped concurrently over their keep-alive pools; one
+        that is down is simply absent from the roll-up (and listed in
+        ``replicas`` with ``reporting: false``).
+        """
+        pools = list(self.pools.values())
+        snapshots = await asyncio.gather(
+            *(self._fetch_replica_metrics(pool) for pool in pools)
+        )
+        counters: Dict[str, float] = {name: 0 for name in _SUMMED_COUNTERS}
+        cache: Dict[str, float] = {name: 0 for name in _SUMMED_CACHE}
+        uptime = 0.0
+        merged_raws: Dict[str, List[Dict]] = {}
+        replicas = []
+        for pool, snapshot in zip(pools, snapshots):
+            replicas.append(
+                {
+                    "node": pool.node,
+                    "reporting": snapshot is not None,
+                    "routed": pool.routed,
+                    "failures": pool.failures,
+                }
+            )
+            if snapshot is None:
+                continue
+            replica_counters = snapshot.get("counters", {})
+            for name in _SUMMED_COUNTERS:
+                counters[name] += replica_counters.get(name, 0)
+            uptime = max(uptime, replica_counters.get("uptime_s", 0.0))
+            replica_cache = snapshot.get("cache", {})
+            for name in _SUMMED_CACHE:
+                cache[name] += replica_cache.get(name, 0)
+            for name, histogram_raw in snapshot.get("histograms", {}).items():
+                merged_raws.setdefault(name, []).append(histogram_raw)
+        counters["uptime_s"] = round(uptime, 3)
+        shed = counters["shed_rate_limited"] + counters["shed_queue_full"]
+        counters["shed_rate"] = round(
+            shed / counters["received"] if counters["received"] else 0.0, 6
+        )
+        lookups = counters["cache_hits"] + counters["cache_misses"]
+        counters["hit_rate"] = round(
+            counters["cache_hits"] / lookups if lookups else 0.0, 6
+        )
+        counters["mean_batch_size"] = round(
+            counters["batched_jobs"] / counters["batches"]
+            if counters["batches"]
+            else 0.0,
+            3,
+        )
+        cache_lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / cache_lookups if cache_lookups else 0.0
+
+        merged = {
+            name: merge_raw_histograms(raws) for name, raws in merged_raws.items()
+        }
+        latency = {
+            name: histogram.summary()
+            for name, histogram in merged.items()
+            if name != "batch_size"
+        }
+        document: Dict[str, object] = {
+            "router": {**self.metrics.as_dict(), "latency": self.metrics.latency.summary()},
+            "counters": counters,
+            "latency": latency,
+            "cache": cache,
+            "replicas": replicas,
+            "replicas_reporting": sum(1 for r in replicas if r["reporting"]),
+        }
+        if raw:
+            document["histograms"] = {
+                name: histogram.raw() for name, histogram in merged.items()
+            }
+            return document
+        document["tables"] = {
+            "counters": format_table(
+                SERVER_COUNTER_HEADERS,
+                server_counter_rows(counters),
+                title=f"fleet counters ({document['replicas_reporting']} replicas)",
+            ),
+            "latency": format_table(
+                SIM_LATENCY_HEADERS,
+                sim_latency_rows(latency),
+                title="fleet request latency (s)",
+            ),
+        }
+        return document
+
+
+class _RawJson(bytes):
+    """Pre-encoded JSON relayed verbatim (skips a decode/encode round trip)."""

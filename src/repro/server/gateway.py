@@ -44,6 +44,7 @@ from repro.server.metrics import GatewayMetrics
 from repro.server.protocol import ProtocolError, job_from_dict
 from repro.server.workers import WorkerPool
 from repro.service.cache import SolveCache
+from repro.service.results import JobResult
 
 __all__ = ["GatewayConfig", "SolveGateway", "BackgroundGateway"]
 
@@ -69,9 +70,17 @@ class GatewayConfig:
     shards, batch_workers, executor, solver, portfolio_deadline:
         Worker-pool shape (see :class:`~repro.server.workers.WorkerPool`).
     cache_dir:
-        Optional persistence directory for the solve cache.
+        Optional persistence directory for the solve cache.  Pointing several
+        gateway processes at one directory makes it the shared fleet cache
+        tier: entries are shared, and per-fingerprint lock files give
+        cross-replica single-flight on concurrent identical misses.
     cache_capacity:
         In-memory LRU bound of the solve cache.
+    flight_timeout, flight_poll:
+        Single-flight wait tuning: a request that finds another replica
+        already solving its fingerprint polls the shared cache every
+        ``flight_poll`` seconds for up to ``max(flight_timeout, 2 x the job's
+        time_limit)`` seconds before taking the solve over.
     trust_client_id:
         Key rate-limit buckets on the ``X-Client-Id`` header instead of the
         peer address.  Off by default: the header is client-controlled, so
@@ -94,6 +103,8 @@ class GatewayConfig:
     portfolio_deadline: Optional[float] = None
     cache_dir: Optional[str] = None
     cache_capacity: Optional[int] = 1024
+    flight_timeout: float = 60.0
+    flight_poll: float = 0.02
     trust_client_id: bool = False
 
     def __post_init__(self) -> None:
@@ -216,13 +227,18 @@ class SolveGateway:
     async def _dispatch(
         self, request: HttpRequest, client: str
     ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
-        route = (request.method, request.path.split("?", 1)[0])
+        path, _sep, query = request.path.partition("?")
+        route = (request.method, path)
         if route == ("POST", "/solve"):
             return await self._solve(request, client)
         if route == ("GET", "/healthz"):
             return 200, self._healthz(), None
         if route == ("GET", "/metrics"):
-            return 200, self.metrics_snapshot(), None
+            # ``?format=json`` is the machine-readable form: raw histogram
+            # bucket counts, no rendered tables — what the fleet router's
+            # roll-up and the load generator consume
+            raw = "format=json" in query.split("&")
+            return 200, self.metrics_snapshot(raw=raw), None
         if route[1] in ("/solve", "/healthz", "/metrics"):
             return 405, {"error": f"{request.method} not allowed on {route[1]}"}, None
         return 404, {"error": f"no route for {request.method} {route[1]}"}, None
@@ -266,8 +282,37 @@ class SolveGateway:
             return 200, self._result_payload(job, hit, cached=True), None
         self.metrics.cache_misses += 1
 
+        # cross-replica single-flight: with a shared cache directory, only the
+        # per-fingerprint lock holder may occupy solver capacity for this job;
+        # every other replica's request awaits the shared entry instead of
+        # duplicating the solve.  Directory-less caches grant every claim
+        # (in-process dedup is the micro-batcher's job).
+        acquired = True
+        if self.cache.directory is not None:
+            acquired = await loop.run_in_executor(
+                None, self.cache.try_acquire_flight, job.fingerprint
+            )
+            if not acquired:
+                result = await self._await_flight(job)
+                if result is not None:
+                    self.metrics.flight_waits += 1
+                    self.metrics.observe_hit(time.perf_counter() - started)
+                    return 200, self._result_payload(job, result, cached=True), None
+                # the holder died or the wait timed out: take the solve over
+                # (best-effort re-claim — losing the takeover race to another
+                # waiter means one duplicate solve, which the cache absorbs;
+                # liveness beats perfect deduplication)
+                self.metrics.flight_takeovers += 1
+                acquired = await loop.run_in_executor(
+                    None, self.cache.try_acquire_flight, job.fingerprint
+                )
+
         decision = self.admission.check_queue(self.batcher.queue_depth)
         if not decision.admitted:
+            if acquired:
+                await loop.run_in_executor(
+                    None, self.cache.release_flight, job.fingerprint
+                )
             self.metrics.shed_queue_full += 1
             return 429, {"error": "shed", "reason": decision.reason}, {"Retry-After": "1"}
 
@@ -281,12 +326,47 @@ class SolveGateway:
         except Exception as exc:  # noqa: BLE001 — solver crash must answer 500
             self.metrics.observe_solved(time.perf_counter() - started, error=True)
             return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
+        finally:
+            if acquired and self.cache.directory is not None:
+                await loop.run_in_executor(
+                    None, self.cache.release_flight, job.fingerprint
+                )
         elapsed = time.perf_counter() - started
         if result.status == "error":
             self.metrics.observe_solved(elapsed, error=True)
             return 500, self._result_payload(job, result, cached=False), None
         self.metrics.observe_solved(elapsed)
         return 200, self._result_payload(job, result, cached=result.cached), None
+
+    async def _await_flight(self, job) -> Optional["JobResult"]:
+        """Poll for another replica's in-flight solve of ``job`` to land.
+
+        Returns the shared cache entry once the holder stores it, or ``None``
+        when the lock disappears/goes stale without a result or the deadline
+        expires — the caller then takes the solve over.  All disk probes run
+        off the event loop; waiting costs no solver capacity here (unlike a
+        thread-pool wait, any number of requests can park on this loop).
+        """
+        loop = asyncio.get_running_loop()
+        time_limit = getattr(job.options, "time_limit", None) or 0.0
+        timeout = max(self.config.flight_timeout, 2.0 * float(time_limit))
+        deadline = loop.time() + timeout
+        while True:
+            result = await loop.run_in_executor(None, self.cache.probe, job.fingerprint)
+            if result is not None:
+                return result
+            in_progress = await loop.run_in_executor(
+                None, self.cache.flight_in_progress, job.fingerprint
+            )
+            if not in_progress:
+                # released (or reclaimed as stale): one last probe catches the
+                # holder's store-then-release window before we take over
+                return await loop.run_in_executor(
+                    None, self.cache.probe, job.fingerprint
+                )
+            if loop.time() >= deadline:
+                return None
+            await asyncio.sleep(self.config.flight_poll)
 
     def _healthz(self) -> Dict[str, object]:
         return {
@@ -295,7 +375,7 @@ class SolveGateway:
             "queue_depth": self.queue_depth,
         }
 
-    def metrics_snapshot(self) -> Dict[str, object]:
+    def metrics_snapshot(self, raw: bool = False) -> Dict[str, object]:
         """The ``/metrics`` document: raw numbers plus rendered tables.
 
         The gateway's own ``counters.hit_rate`` is the served hit rate.  The
@@ -303,10 +383,19 @@ class SolveGateway:
         which sees each end-to-end miss twice (once from the gateway probe,
         once from the worker shard's dedup-across-batches probe) — so its
         hit_rate reads lower than the gateway's by design.
+
+        ``raw=True`` swaps the rendered tables for exact histogram bucket
+        counts (``histograms``) so downstream consumers — the fleet router's
+        fleet-wide roll-up, the loadgen fleet driver — can merge replicas
+        losslessly instead of scraping fixed-width text.
         """
         snapshot = self.metrics.snapshot(
-            queue_depth=self.queue_depth, cache_stats=self.cache.stats.as_dict()
+            queue_depth=self.queue_depth,
+            cache_stats=self.cache.stats.as_dict(),
+            raw=raw,
         )
+        if raw:
+            return snapshot
         snapshot["tables"] = {
             "counters": format_table(
                 SERVER_COUNTER_HEADERS,

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
-__all__ = ["LatencyHistogram", "GatewayMetrics"]
+__all__ = ["LatencyHistogram", "GatewayMetrics", "merge_raw_histograms"]
 
 
 def _default_bounds() -> List[float]:
@@ -102,6 +102,75 @@ class LatencyHistogram:
             "max": self.max,
         }
 
+    # ------------------------------------------------------------------
+    # machine-readable form: ``/metrics?format=json`` and fleet roll-ups
+    # ------------------------------------------------------------------
+    def raw(self) -> Dict[str, object]:
+        """Exact bucket state, JSON-safe (``min`` is ``None`` while empty).
+
+        This is what ``/metrics?format=json`` serves and what
+        :func:`merge_raw_histograms` consumes: identical-bounds histograms
+        from N replicas merge losslessly by summing bucket counts, which the
+        rendered percentile tables cannot do.
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_raw(cls, data: Mapping[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`raw` output (validated)."""
+        histogram = cls(bounds=[float(b) for b in data["bounds"]])
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(histogram.counts):
+            raise ValueError(
+                f"counts length {len(counts)} does not match "
+                f"{len(histogram.bounds)} bounds (+1 overflow)"
+            )
+        if any(c < 0 for c in counts):
+            raise ValueError("bucket counts must be non-negative")
+        histogram.counts = counts
+        histogram.count = int(data["count"])
+        if histogram.count != sum(counts):
+            raise ValueError("count does not equal the bucket-count sum")
+        histogram.total = float(data["total"])
+        histogram.max = float(data["max"])
+        minimum = data.get("min")
+        histogram.min = float("inf") if minimum is None else float(minimum)
+        return histogram
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another identical-bounds histogram into this one, in place."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+def merge_raw_histograms(raws: Iterable[Mapping[str, object]]) -> LatencyHistogram:
+    """Merge :meth:`LatencyHistogram.raw` snapshots from N replicas into one.
+
+    The fleet router's ``/metrics`` roll-up uses this to serve fleet-wide
+    latency percentiles: summing bucket counts is exact, whereas averaging
+    the replicas' rendered p99s would be meaningless.
+    """
+    merged: Optional[LatencyHistogram] = None
+    for raw in raws:
+        histogram = LatencyHistogram.from_raw(raw)
+        if merged is None:
+            merged = histogram
+        else:
+            merged.merge(histogram)
+    return merged if merged is not None else LatencyHistogram()
+
 
 @dataclasses.dataclass
 class GatewayMetrics:
@@ -119,6 +188,8 @@ class GatewayMetrics:
     batches: int = 0  # batches flushed to the worker shards
     batched_jobs: int = 0  # jobs carried by those batches
     deduped_jobs: int = 0  # batch slots answered by an in-batch duplicate
+    flight_waits: int = 0  # misses served by awaiting another replica's solve
+    flight_takeovers: int = 0  # awaited flights that died and were re-solved here
 
     def __post_init__(self) -> None:
         self.started_monotonic = time.monotonic()
@@ -194,6 +265,8 @@ class GatewayMetrics:
             "batched_jobs": self.batched_jobs,
             "deduped_jobs": self.deduped_jobs,
             "mean_batch_size": round(self.mean_batch_size, 3),
+            "flight_waits": self.flight_waits,
+            "flight_takeovers": self.flight_takeovers,
         }
 
     def latency_summaries(self) -> Dict[str, Dict[str, float]]:
@@ -204,10 +277,32 @@ class GatewayMetrics:
             "solve_miss": self.latency_miss.summary(),
         }
 
-    def snapshot(self, queue_depth: int = 0, cache_stats: Optional[Mapping] = None) -> Dict:
-        """Everything ``/metrics`` serves, as one JSON-ready dict."""
+    def histograms(self) -> Dict[str, Dict[str, object]]:
+        """Raw bucket state of every histogram (the mergeable form)."""
         return {
+            "request": self.latency_total.raw(),
+            "cache_hit": self.latency_hit.raw(),
+            "solve_miss": self.latency_miss.raw(),
+            "batch_size": self.batch_sizes.raw(),
+        }
+
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        cache_stats: Optional[Mapping] = None,
+        raw: bool = False,
+    ) -> Dict:
+        """Everything ``/metrics`` serves, as one JSON-ready dict.
+
+        ``raw=True`` (the ``?format=json`` form) additionally carries the
+        exact histogram bucket counts so fleet roll-ups and load generators
+        can merge and re-quantile them instead of scraping rendered tables.
+        """
+        snapshot = {
             "counters": self.counters(queue_depth),
             "latency": self.latency_summaries(),
             "cache": dict(cache_stats) if cache_stats is not None else {},
         }
+        if raw:
+            snapshot["histograms"] = self.histograms()
+        return snapshot

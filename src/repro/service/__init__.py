@@ -28,7 +28,13 @@ Quickstart::
     print(report.format())
 """
 
-from repro.service.cache import CacheStats, SolveCache
+from repro.service.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    SolveCache,
+    cache_migration,
+    migrate_entry,
+)
 from repro.service.executor import BatchSolver, execute_job
 from repro.service.jobs import SolveJob
 from repro.service.portfolio import (
@@ -45,6 +51,9 @@ __all__ = [
     "SolveJob",
     "SolveCache",
     "CacheStats",
+    "CACHE_SCHEMA_VERSION",
+    "cache_migration",
+    "migrate_entry",
     "BatchSolver",
     "execute_job",
     "JobResult",

@@ -1,0 +1,92 @@
+"""Consistent-hash ring: determinism, balance, and minimal remapping."""
+
+import itertools
+
+import pytest
+
+from repro.fleet.hashing import DEFAULT_VNODES, HashRing
+
+
+def keys(count: int):
+    return [f"{index:064x}" for index in range(count)]
+
+
+class TestConstruction:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(["a", "b", "a"])
+
+    def test_non_positive_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+
+    def test_len_counts_nodes_not_vnodes(self):
+        assert len(HashRing(["a", "b", "c"])) == 3
+
+
+class TestDeterminism:
+    def test_owner_is_stable_across_instances(self):
+        first = HashRing(["n1", "n2", "n3"])
+        second = HashRing(["n1", "n2", "n3"])
+        assert [first.owner(k) for k in keys(50)] == [
+            second.owner(k) for k in keys(50)
+        ]
+
+    def test_node_order_does_not_matter(self):
+        forward = HashRing(["n1", "n2", "n3"])
+        shuffled = HashRing(["n3", "n1", "n2"])
+        assert [forward.owner(k) for k in keys(50)] == [
+            shuffled.owner(k) for k in keys(50)
+        ]
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.owner(k) == "only" for k in keys(20))
+
+
+class TestPreference:
+    def test_preference_starts_with_owner_and_covers_all_nodes(self):
+        nodes = ["n1", "n2", "n3", "n4"]
+        ring = HashRing(nodes)
+        for key in keys(30):
+            chain = list(ring.preference(key))
+            assert chain[0] == ring.owner(key)
+            assert sorted(chain) == sorted(nodes)  # a permutation: no dupes
+
+    def test_preference_is_lazy_and_stable(self):
+        ring = HashRing(["n1", "n2", "n3", "n4"])
+        key = keys(1)[0]
+        # taking a prefix (the router rarely walks past the owner) matches
+        # the full chain's head
+        prefix = list(itertools.islice(ring.preference(key), 2))
+        assert prefix == list(ring.preference(key))[:2]
+
+
+class TestDistribution:
+    def test_spread_is_roughly_balanced(self):
+        nodes = [f"n{index}" for index in range(4)]
+        ring = HashRing(nodes, vnodes=DEFAULT_VNODES)
+        counts = ring.spread(keys(2000))
+        assert sorted(counts) == sorted(nodes)
+        for node in nodes:
+            # each node should get 25% +- a generous consistent-hash tolerance
+            assert 0.10 < counts[node] / 2000 < 0.45
+
+    def test_removing_a_node_only_remaps_its_keys(self):
+        sample = keys(1000)
+        full = HashRing(["n1", "n2", "n3", "n4"])
+        reduced = HashRing(["n1", "n2", "n3"])
+        moved = 0
+        for key in sample:
+            before = full.owner(key)
+            after = reduced.owner(key)
+            if before == "n4":
+                assert after != "n4"
+            elif before != after:
+                moved += 1
+        # keys not owned by the removed node stay put (consistent hashing)
+        assert moved == 0

@@ -1,0 +1,233 @@
+"""Router behaviour over real loopback HTTP against stub replica gateways.
+
+Each "replica" is a :class:`BackgroundGateway` with a stubbed worker pool
+(instant canned results, per-gateway in-memory cache), so the tests observe
+exactly where the router sent each request: a repeat that lands on its owner
+is a cache hit, a repeat that strays is a second stub solve.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.fleet.harness import BackgroundRouter
+from repro.fleet.router import FleetRouter, RouterConfig
+from repro.server.gateway import BackgroundGateway, GatewayConfig
+from repro.server.loadgen import GatewayClient, demo_payloads
+from repro.server.protocol import job_from_dict
+from repro.service.cache import SolveCache
+from repro.service.results import JobResult
+
+
+class StubWorkerPool:
+    def __init__(self, cache: SolveCache):
+        self.cache = cache
+        self.solved = 0
+
+    async def solve_batch(self, jobs):
+        results = {}
+        for job in jobs:
+            self.solved += 1
+            result = JobResult(
+                fingerprint=job.fingerprint,
+                job_name=job.name,
+                status="optimal",
+                feasible=True,
+                objective=3.0,
+                solve_time=0.01,
+                wall_time=0.01,
+                backend="stub",
+                mode=job.mode,
+            )
+            self.cache.put(result)
+            results[job.fingerprint] = result
+        return results
+
+    def shutdown(self, wait: bool = True):
+        pass
+
+
+class StubFleet:
+    """N stub gateways plus a router frontend, torn down in one call."""
+
+    def __init__(self, replicas: int = 2, router_config: RouterConfig = None):
+        self.gateways = []
+        self.pools = []
+        for _ in range(replicas):
+            cache = SolveCache()
+            pool = StubWorkerPool(cache)
+            gateway = BackgroundGateway(
+                config=GatewayConfig(port=0, batch_window=0.005),
+                cache=cache,
+                worker_pool=pool,
+            )
+            self.gateways.append(gateway)
+            self.pools.append(pool)
+        addresses = [(gw.host, gw.port) for gw in self.gateways]
+        self.router = BackgroundRouter(
+            FleetRouter(
+                addresses,
+                router_config
+                or RouterConfig(port=0, retry_deadline=10.0, retry_wait=0.02),
+            )
+        )
+
+    @property
+    def host(self):
+        return self.router.router.config.host
+
+    @property
+    def port(self):
+        return self.router.port
+
+    def owner_index(self, payload) -> int:
+        """Which gateway the ring assigns this payload's fingerprint to."""
+        fingerprint = job_from_dict(payload).fingerprint
+        node = self.router.router.ring.owner(fingerprint)
+        for index, gateway in enumerate(self.gateways):
+            if f"{gateway.host}:{gateway.port}" == node:
+                return index
+        raise AssertionError(f"owner {node} is not one of our gateways")
+
+    def stop(self):
+        self.router.stop()
+        for gateway in self.gateways:
+            gateway.stop()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return demo_payloads(unique=4, time_limit=20.0)
+
+
+def via_router(fleet, requests):
+    """Send ``requests`` payloads through the router on one connection."""
+
+    async def scenario():
+        responses = []
+        async with GatewayClient(fleet.host, fleet.port) as client:
+            for payload in requests:
+                responses.append(await client.solve(payload))
+        return responses
+
+    return asyncio.run(scenario())
+
+
+class TestRouting:
+    def test_repeats_land_on_their_owner(self, payloads):
+        with StubFleet(replicas=3) as fleet:
+            responses = via_router(fleet, payloads + payloads)
+            assert all(status == 200 for status, _body in responses)
+            # sticky fingerprint routing: each unique solved exactly once
+            # fleet-wide, every repeat was a memory-hot hit on its owner
+            assert sum(pool.solved for pool in fleet.pools) == len(payloads)
+            repeats = responses[len(payloads):]
+            assert all(body["cached"] for _status, body in repeats)
+            assert fleet.router.router.metrics.routed == 2 * len(payloads)
+            assert fleet.router.router.metrics.failovers == 0
+
+    def test_routes_and_errors(self, payloads):
+        with StubFleet() as fleet:
+            async def scenario():
+                async with GatewayClient(fleet.host, fleet.port) as client:
+                    results = {}
+                    results["health"] = await client.healthz()
+                    results["bad"] = await client.request(
+                        "POST", "/solve", {"not": "a job"}
+                    )
+                    results["missing"] = await client.request("GET", "/nope")
+                    results["wrong_method"] = await client.request("GET", "/solve")
+                    return results
+
+            results = asyncio.run(scenario())
+        status, health = results["health"]
+        assert status == 200 and health["status"] == "ok"
+        assert {replica["up"] for replica in health["replicas"]} == {True}
+        status, body = results["bad"]
+        assert status == 400 and "error" in body
+        assert results["missing"][0] == 404
+        assert results["wrong_method"][0] == 405
+        assert fleet.router.router.metrics.bad_requests == 1
+
+    def test_solve_response_is_relayed_verbatim(self, payloads):
+        with StubFleet() as fleet:
+            (status, body), = via_router(fleet, payloads[:1])
+            assert status == 200
+            assert body["result"]["status"] == "optimal"
+            assert body["result"]["backend"] == "stub"
+            assert body["cached"] is False
+
+
+class TestFailover:
+    def test_dead_owner_fails_over_to_the_next_replica(self, payloads):
+        with StubFleet(replicas=2) as fleet:
+            payload = payloads[0]
+            owner = fleet.owner_index(payload)
+            fleet.gateways[owner].stop()
+            (status, body), = via_router(fleet, [payload])
+            assert status == 200
+            assert body["result"]["status"] == "optimal"
+            metrics = fleet.router.router.metrics
+            assert metrics.failovers >= 1
+            assert metrics.retries >= 1
+            # the survivor did the solve
+            assert fleet.pools[1 - owner].solved == 1
+
+    def test_whole_fleet_down_answers_503_after_the_budget(self, payloads):
+        config = RouterConfig(port=0, retry_deadline=0.4, retry_wait=0.02)
+        with StubFleet(replicas=2, router_config=config) as fleet:
+            for gateway in fleet.gateways:
+                gateway.stop()
+            (status, body), = via_router(fleet, payloads[:1])
+            assert status == 503
+            assert "error" in body
+            assert fleet.router.router.metrics.unavailable == 1
+
+
+class TestRollup:
+    def test_counters_sum_and_histograms_merge(self, payloads):
+        with StubFleet(replicas=2) as fleet:
+            via_router(fleet, payloads + payloads)
+
+            async def scrape():
+                async with GatewayClient(fleet.host, fleet.port) as client:
+                    _status, formatted = await client.metrics()
+                    status, machine = await client.request(
+                        "GET", "/metrics?format=json"
+                    )
+                    return formatted, status, machine
+
+            formatted, status, machine = asyncio.run(scrape())
+        assert status == 200
+        assert formatted["replicas_reporting"] == 2
+        # summed across replicas: all 8 requests, 4 misses + 4 hits
+        assert formatted["counters"]["received"] == 2 * len(payloads)
+        assert formatted["counters"]["cache_hits"] == len(payloads)
+        assert formatted["counters"]["cache_misses"] == len(payloads)
+        assert formatted["counters"]["hit_rate"] == 0.5
+        assert formatted["router"]["routed"] == 2 * len(payloads)
+        assert "counters" in formatted["tables"]
+        # the machine document carries mergeable raw buckets, not tables
+        assert "histograms" in machine and "tables" not in machine
+        request_histogram = machine["histograms"]["request"]
+        assert request_histogram["count"] == 2 * len(payloads)
+
+    def test_down_replica_is_reported_not_fatal(self, payloads):
+        with StubFleet(replicas=2) as fleet:
+            fleet.gateways[0].stop()
+
+            async def scrape():
+                async with GatewayClient(fleet.host, fleet.port) as client:
+                    return await client.metrics()
+
+            status, rollup = asyncio.run(scrape())
+        assert status == 200
+        assert rollup["replicas_reporting"] == 1
+        reporting = {r["node"]: r["reporting"] for r in rollup["replicas"]}
+        assert sorted(reporting.values()) == [False, True]
