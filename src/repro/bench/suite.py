@@ -12,6 +12,9 @@ job, ``--full`` uses inputs large enough to expose asymptotic differences.
 
 from __future__ import annotations
 
+import time
+from typing import Dict, List
+
 from repro.bench import scenarios
 from repro.bench.registry import benchmark
 from repro.bench.runner import BenchProfile, Workload
@@ -720,6 +723,127 @@ def fleet_router_closed_loop(profile: BenchProfile) -> Workload:
         run()  # prefill: the timed rounds then serve warm hits end to end
     except BaseException:
         fleet.stop()
+        raise
+    return workload
+
+
+# ----------------------------------------------------------------------
+# obs: tracing overhead on the serving hot path
+# ----------------------------------------------------------------------
+@benchmark("obs.trace_overhead")
+def obs_trace_overhead(profile: BenchProfile) -> Workload:
+    """Per-request cost of tracing: traced vs untraced warm cache-hit serving.
+
+    Two identical gateways — one with the recorder on (the default), one
+    with ``tracing=False`` — serve the *same* alternating request stream.
+    Design notes, each of which a noisy shared box made necessary:
+
+    - Gateways and the load generator share one event loop on one thread.
+      A background-thread server lets GIL scheduling (5 ms switch interval)
+      inflate a ~30 µs instrumentation cost into a hundreds-of-µs latency
+      artifact.
+    - Requests alternate traced/untraced *per request* over two keep-alive
+      connections (first side swapping every pair), so adjacent samples see
+      near-identical machine conditions and slow load drift cancels instead
+      of biasing whichever side ran during a noisy stretch.
+    - Latencies accumulate across every timed round; the final extras
+      compare pooled p50s over the whole protocol.
+
+    ``overhead_pct`` is the acceptance evidence that spans, the recorder
+    ring, and header propagation cost < 5% of a cache-hit p50.
+    """
+    import asyncio
+    import statistics as stats_mod
+
+    from repro.server.gateway import GatewayConfig, SolveGateway
+    from repro.server.loadgen import GatewayClient
+
+    pairs_per_round = profile.scaled(150, 400)
+    payloads = scenarios.server_payloads(unique=4)
+
+    loop = asyncio.new_event_loop()
+    traced = SolveGateway(config=GatewayConfig(port=0))
+    untraced = SolveGateway(config=GatewayConfig(port=0, tracing=False))
+    clients: Dict[str, GatewayClient] = {}
+    pooled: Dict[str, List[float]] = {"traced": [], "untraced": []}
+    walls: Dict[str, float] = {"traced": 0.0, "untraced": 0.0}
+
+    async def alternating_round():
+        sides = [("traced", clients["traced"]), ("untraced", clients["untraced"])]
+        for index in range(pairs_per_round):
+            payload = payloads[index % len(payloads)]
+            order = sides if index % 2 == 0 else sides[::-1]
+            for name, client in order:
+                started = time.perf_counter()
+                status, _ = await client.solve(payload)
+                elapsed = time.perf_counter() - started
+                if status != 200:
+                    raise RuntimeError(f"{name} gateway answered {status}")
+                pooled[name].append(elapsed)
+                walls[name] += elapsed
+
+    def run():
+        loop.run_until_complete(alternating_round())
+        traced_p50 = stats_mod.median(pooled["traced"])
+        untraced_p50 = stats_mod.median(pooled["untraced"])
+        workload.units = float(2 * pairs_per_round)
+        overhead = (
+            (traced_p50 - untraced_p50) / untraced_p50 if untraced_p50 > 0 else 0.0
+        )
+        workload.extras.update(
+            {
+                "traced_p50_ms": round(traced_p50 * 1e3, 3),
+                "untraced_p50_ms": round(untraced_p50 * 1e3, 3),
+                "traced_throughput_rps": round(
+                    len(pooled["traced"]) / walls["traced"], 3
+                ),
+                "untraced_throughput_rps": round(
+                    len(pooled["untraced"]) / walls["untraced"], 3
+                ),
+                "overhead_pct": round(100.0 * overhead, 3),
+            }
+        )
+
+    def stop():
+        async def shutdown():
+            for client in clients.values():
+                await client.close()
+            await traced.drain()
+            await untraced.drain()
+            # reap connection handlers still waiting on their close handshake
+            leftovers = [
+                task for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            if leftovers:
+                _done, pending = await asyncio.wait(leftovers, timeout=1.0)
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+        try:
+            loop.run_until_complete(shutdown())
+        finally:
+            loop.close()
+
+    async def startup():
+        await traced.start()
+        await untraced.start()
+        host = traced.config.host
+        clients["traced"] = await GatewayClient(host, traced.port).connect()
+        clients["untraced"] = await GatewayClient(host, untraced.port).connect()
+        # prefill both caches: every measured request is a warm hit
+        for name, client in clients.items():
+            for payload in payloads:
+                status, _ = await client.solve(payload)
+                if status != 200:
+                    raise RuntimeError(f"{name} gateway prefill answered {status}")
+
+    workload = Workload(run, units=1.0, unit_name="requests")
+    workload.teardown = stop
+    try:
+        loop.run_until_complete(startup())
+    except BaseException:
+        stop()
         raise
     return workload
 

@@ -95,6 +95,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="extra argument passed through to every `python -m repro.server` "
         "replica (repeatable, e.g. --server-arg=--max-batch --server-arg=16)",
     )
+    parser.add_argument(
+        "--no-trace", action="store_true",
+        help="disable request tracing on the router (/debug/traces -> 404)",
+    )
+    parser.add_argument(
+        "--trace-sink", default=None, metavar="PATH",
+        help="append the router's completed traces to this rotating JSONL "
+        "file (feed it to `python -m repro.obs export` for capture->replay)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -107,7 +116,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         server_args=tuple(args.server_arg),
         backoff_base=args.backoff_base,
     )
-    router_config = RouterConfig(host=args.host, port=args.port, vnodes=args.vnodes)
+    router_config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        vnodes=args.vnodes,
+        tracing=not args.no_trace,
+        trace_sink=args.trace_sink,
+    )
     try:
         asyncio.run(serve(fleet_config, router_config, quiet=args.quiet))
     except KeyboardInterrupt:  # pragma: no cover - ^C before the handler installs

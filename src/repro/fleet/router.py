@@ -42,9 +42,26 @@ from repro.analysis.report import (
     sim_latency_rows,
 )
 from repro.fleet.hashing import DEFAULT_VNODES, HashRing
-from repro.server.http import HttpError, HttpRequest, read_request, write_response
+from repro.obs.recorder import TraceRecorder
+from repro.obs.trace import (
+    TRACE_HEADER,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Trace,
+    format_trace_header,
+    new_id,
+    summarize_trace_doc,
+)
+from repro.server.http import (
+    HttpError,
+    HttpRequest,
+    parse_query,
+    read_request,
+    write_response,
+)
 from repro.server.metrics import LatencyHistogram, merge_raw_histograms
 from repro.server.protocol import ProtocolError, job_from_dict
+from repro.utils.buildinfo import git_rev
 
 __all__ = ["RouterConfig", "FleetRouter", "UpstreamError", "UpstreamPool"]
 
@@ -105,6 +122,13 @@ class RouterConfig:
         answers 503 only after the whole fleet stayed unreachable this long.
     retry_wait:
         Pause between full sweeps of the preference list.
+    tracing, trace_capacity, trace_sink:
+        When ``tracing`` is on (the default) the router mints a trace id per
+        ``/solve``, records decode + per-attempt forward spans into a bounded
+        ring of ``trace_capacity`` traces (``GET /debug/traces``), and
+        propagates the id downstream in ``X-Repro-Trace`` so replica-side
+        fragments share it.  ``trace_sink`` additionally appends completed
+        traces to a rotating JSONL file for capture→replay.
     """
 
     host: str = "127.0.0.1"
@@ -115,6 +139,9 @@ class RouterConfig:
     down_cooldown: float = 0.5
     retry_deadline: float = 15.0
     retry_wait: float = 0.05
+    tracing: bool = True
+    trace_capacity: int = 256
+    trace_sink: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.retry_deadline <= 0 or self.retry_wait < 0:
@@ -278,8 +305,17 @@ class FleetRouter:
             self.pools[pool.node] = pool
         self.ring = HashRing(list(self.pools), vnodes=self.config.vnodes)
         self.metrics = RouterMetrics()
+        self.recorder: Optional[TraceRecorder] = (
+            TraceRecorder(
+                capacity=self.config.trace_capacity,
+                sink_path=self.config.trace_sink,
+            )
+            if self.config.tracing
+            else None
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
+        self._started = time.time()
         self.port: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -352,7 +388,13 @@ class FleetRouter:
         if route == ("GET", "/metrics"):
             raw = "format=json" in query.split("&")
             return 200, await self.metrics_rollup(raw=raw), None
-        if path in ("/solve", "/healthz", "/metrics"):
+        if route == ("GET", "/debug/traces"):
+            return self._debug_traces(query)
+        if request.method == "GET" and path.startswith("/debug/traces/"):
+            return self._debug_trace_by_id(path[len("/debug/traces/"):])
+        if route == ("GET", "/dashboard"):
+            return 200, await self._dashboard(), None
+        if path in ("/solve", "/healthz", "/metrics", "/dashboard", "/debug/traces"):
             return 405, {"error": f"{request.method} not allowed on {path}"}, None
         return 404, {"error": f"no route for {request.method} {path}"}, None
 
@@ -360,6 +402,43 @@ class FleetRouter:
     # the solve route: decode -> ring -> forward with retries
     # ------------------------------------------------------------------
     async def _solve(self, request: HttpRequest):
+        trace: Optional[Trace] = None
+        root: Optional[Span] = None
+        if self.recorder is not None:
+            # the router is normally where the trace id is minted (clients
+            # rarely send the header); replicas continue it downstream
+            trace = Trace.begin(
+                request.header(TRACE_HEADER) or None,
+                origin="router",
+                metadata={"client": request.header("x-client-id") or None},
+            )
+            root = Span(
+                name="router.request",
+                span_id=new_id(),
+                parent_id=trace.remote_parent,
+                start=trace.start,
+                end=0.0,
+            )
+        status = 500
+        try:
+            status, payload, headers = await self._solve_inner(request, trace, root)
+            if trace is not None:
+                headers = dict(headers or {})
+                headers.setdefault(TRACE_HEADER, trace.trace_id)
+            return status, payload, headers
+        finally:
+            # every exit — routed, shed, unroutable, or crashed — lands the
+            # trace with the root span first and the final status
+            if trace is not None:
+                root.annotations["http_status"] = status
+                root.end = trace.wall(time.perf_counter())
+                trace.spans.insert(0, root)
+                trace.finish("ok" if status == 200 else f"http_{status}")
+                self.recorder.record(trace)
+
+    async def _solve_inner(
+        self, request: HttpRequest, trace: Optional[Trace], root: Optional[Span]
+    ):
         self.metrics.received += 1
         if self._draining:
             self.metrics.rejected_draining += 1
@@ -374,12 +453,27 @@ class FleetRouter:
             )
         except (HttpError, ProtocolError) as exc:
             self.metrics.bad_requests += 1
+            if trace is not None:
+                trace.add_span(
+                    "router.decode", started, time.perf_counter(),
+                    parent=root, error=str(exc),
+                )
             return 400, {"error": str(exc)}, None
+        if trace is not None:
+            trace.add_span("router.decode", started, time.perf_counter(), parent=root)
+            trace.metadata["fingerprint"] = job.fingerprint
+            trace.metadata["job"] = job.name
 
         forward_headers: Dict[str, str] = {}
         client_id = request.header("x-client-id")
         if client_id:
             forward_headers["X-Client-Id"] = client_id
+        if trace is not None:
+            # the replica's gateway fragment hangs off this router's root
+            # span, stitching the two processes' spans into one request story
+            forward_headers[TRACE_HEADER] = format_trace_header(
+                trace.trace_id, root.span_id
+            )
 
         preference = list(self.ring.preference(job.fingerprint))
         deadline = time.monotonic() + self.config.retry_deadline
@@ -392,13 +486,26 @@ class FleetRouter:
                 attempt += 1
                 if attempt > 1:
                     self.metrics.retries += 1
+                forward_started = time.perf_counter()
                 try:
                     status, body = await pool.request(
                         "POST", "/solve", request.body, forward_headers
                     )
-                except UpstreamError:
+                except UpstreamError as exc:
                     pool.mark_down()
+                    if trace is not None:
+                        trace.add_span(
+                            "router.forward", forward_started, time.perf_counter(),
+                            parent=root, node=node, rank=rank, attempt=attempt,
+                            error=str(exc),
+                        )
                     continue
+                if trace is not None:
+                    trace.add_span(
+                        "router.forward", forward_started, time.perf_counter(),
+                        parent=root, node=node, rank=rank, attempt=attempt,
+                        status=status,
+                    )
                 if status == 503:
                     # the replica is draining (mid-restart): retryable, the
                     # solve is idempotent and the cache absorbs duplicates
@@ -429,7 +536,48 @@ class FleetRouter:
         status = "draining" if self._draining else (
             "ok" if any(r["up"] for r in replicas) else "degraded"
         )
-        return {"status": status, "replicas": replicas}
+        return {
+            "status": status,
+            "replicas": replicas,
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "git_rev": git_rev(),
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "tracing": self.recorder is not None,
+        }
+
+    # ------------------------------------------------------------------
+    # trace inspection and the dashboard
+    # ------------------------------------------------------------------
+    def _debug_traces(self, query: str):
+        if self.recorder is None:
+            return 404, {"error": "tracing is disabled on this router"}, None
+        params = parse_query(query)
+        try:
+            limit = int(params.get("limit", "50"))
+        except ValueError:
+            return 400, {"error": f"bad limit {params.get('limit')!r}"}, None
+        full = params.get("full", "").lower() in ("1", "true", "yes")
+        docs = self.recorder.list(limit=max(1, limit))
+        traces = docs if full else [summarize_trace_doc(doc) for doc in docs]
+        return 200, {"traces": traces, "stats": self.recorder.stats()}, None
+
+    def _debug_trace_by_id(self, trace_id: str):
+        if self.recorder is None:
+            return 404, {"error": "tracing is disabled on this router"}, None
+        doc = self.recorder.get(trace_id.strip("/"))
+        if doc is None:
+            return 404, {"error": f"no trace {trace_id!r} (evicted or never seen)"}, None
+        return 200, doc, None
+
+    async def _dashboard(self):
+        from repro.obs.dashboard import render_dashboard
+
+        return render_dashboard(
+            await self.metrics_rollup(raw=True),
+            traces=self.recorder.list(limit=20) if self.recorder is not None else [],
+            title=f"repro fleet router :{self.port}",
+            health=self._healthz(),
+        )
 
     async def _fetch_replica_metrics(self, pool: UpstreamPool) -> Optional[Dict]:
         try:

@@ -19,7 +19,7 @@ Typical usage::
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.floorplan.metrics import (
     FloorplanMetrics,
@@ -31,6 +31,7 @@ from repro.floorplan.placement import Floorplan
 from repro.floorplan.problem import FloorplanProblem
 from repro.floorplan.verify import VerificationReport, verify_floorplan
 from repro.milp import MILPSolution, SolverOptions, solve
+from repro.obs.trace import collect_stages, stage_timer
 
 
 @dataclasses.dataclass
@@ -46,6 +47,11 @@ class SolveReport:
     metrics: Optional[FloorplanMetrics]
     verification: Optional[VerificationReport]
     milp: Optional[FloorplanMILP] = None
+    #: Solver stage timings (name/seconds dicts) collected by
+    #: :func:`repro.obs.trace.collect_stages` during :func:`run_job`; ``None``
+    #: outside traced service solves.  Travels with the portable report so the
+    #: gateway can attach per-stage spans to the request trace.
+    stages: Optional[List[Dict[str, object]]] = None
 
     @property
     def feasible(self) -> bool:
@@ -70,6 +76,7 @@ class SolveReport:
             metrics=self.metrics,
             verification=self.verification,
             milp=None,
+            stages=self.stages,
         )
 
     def summary(self) -> str:
@@ -189,7 +196,8 @@ class FloorplanSolver:
             wirelength.
         """
         weights = weights or ObjectiveWeights.paper_default()
-        milp = self.build(weights=weights)
+        with stage_timer("floorplan.build", mode=self.mode):
+            milp = self.build(weights=weights)
 
         if lexicographic:
             return self._solve_lexicographic(milp, weights)
@@ -252,21 +260,29 @@ def run_job(job) -> SolveReport:
         options=job.options,
         heuristic=job.heuristic,
     )
-    report = solver.solve(weights=job.weights, lexicographic=job.lexicographic)
-    return report.portable()
+    # Collect solver stage timings (floorplan.build, milp.presolve,
+    # milp.search, floorplan.postsolve) on this thread so the serving layers
+    # can attach them to the request trace — the collector is thread-local,
+    # which is exactly what survives the executor pools the service uses.
+    with collect_stages() as stages:
+        report = solver.solve(weights=job.weights, lexicographic=job.lexicographic)
+    portable = report.portable()
+    portable.stages = stages or None
+    return portable
 
 
 def _finalize_report(
     milp: FloorplanMILP, solution: MILPSolution, seed=None
 ) -> SolveReport:
-    floorplan = milp.extract(solution)
-    if seed is not None:
-        floorplan.metadata["ho_seed_status"] = seed.floorplan.solver_status
-    metrics = None
-    verification = None
-    if solution.status.has_solution and floorplan.is_complete:
-        metrics = evaluate_floorplan(floorplan)
-        verification = verify_floorplan(floorplan)
+    with stage_timer("floorplan.postsolve"):
+        floorplan = milp.extract(solution)
+        if seed is not None:
+            floorplan.metadata["ho_seed_status"] = seed.floorplan.solver_status
+        metrics = None
+        verification = None
+        if solution.status.has_solution and floorplan.is_complete:
+            metrics = evaluate_floorplan(floorplan)
+            verification = verify_floorplan(floorplan)
     return SolveReport(
         floorplan=floorplan,
         solution=solution,

@@ -52,6 +52,7 @@ from repro.milp.solver import (
     remaining_budget,
     split_matrix_form,
 )
+from repro.obs.trace import record_stage
 
 _INT_TOL = 1e-6
 
@@ -193,11 +194,18 @@ def solve_with_branch_bound(
     # ------------------------------------------------------------------
     # root node
     # ------------------------------------------------------------------
+    search_start = time.perf_counter()
     root_lower = form.var_lb.astype(float).copy()
     root_upper = form.var_ub.astype(float).copy()
     nodes_explored += 1
     root = _solve_lp_with_duals(form, split, root_lower, root_upper)
     if root is None:
+        record_stage(
+            "milp.search",
+            time.perf_counter() - search_start,
+            backend="branch-bound",
+            nodes=nodes_explored,
+        )
         return MILPSolution(
             status=SolveStatus.INFEASIBLE,
             solve_time=time.perf_counter() - start,
@@ -306,6 +314,12 @@ def solve_with_branch_bound(
                     break
 
     elapsed = time.perf_counter() - start
+    record_stage(
+        "milp.search",
+        time.perf_counter() - search_start,
+        backend="branch-bound",
+        nodes=nodes_explored,
+    )
 
     # the proven bound is the weakest open or gap-pruned node (or the
     # incumbent itself when the tree closed completely)

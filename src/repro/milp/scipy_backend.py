@@ -19,6 +19,7 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 from repro.milp.model import Model
 from repro.milp.solution import MILPSolution, SolveStatus
 from repro.milp.solver import PreparedModel, prepare_model, remaining_budget
+from repro.obs.trace import stage_timer
 
 
 def solve_with_scipy(
@@ -85,13 +86,14 @@ def solve_with_scipy(
 
     bounds = Bounds(form.var_lb, form.var_ub)
 
-    result = milp(
-        c=form.objective,
-        constraints=constraints,
-        integrality=form.integrality,
-        bounds=bounds,
-        options=options,
-    )
+    with stage_timer("milp.search", backend="scipy-highs"):
+        result = milp(
+            c=form.objective,
+            constraints=constraints,
+            integrality=form.integrality,
+            bounds=bounds,
+            options=options,
+        )
     elapsed = time.perf_counter() - start
 
     status = _map_status(result)

@@ -31,6 +31,7 @@ from repro.milp.expr import Variable
 from repro.milp.model import MatrixForm, Model
 from repro.milp.presolve import PresolveResult, PresolveStatus, presolve
 from repro.milp.solution import MILPSolution, SolveStatus
+from repro.obs.trace import record_stage
 
 
 @dataclasses.dataclass(frozen=True)
@@ -199,6 +200,22 @@ def prepare_model(
     backend: str = "",
 ) -> PreparedModel:
     """Lower ``model`` and presolve it; shared entry point of both backends."""
+    prepared = _prepare_model(model, run_presolve=run_presolve, backend=backend)
+    # Tracing stage hook: a no-op unless a collector is active on this thread
+    # (see repro.obs.trace.collect_stages).
+    record_stage(
+        "milp.presolve",
+        prepared.prep_time,
+        shortcut=prepared.shortcut is not None,
+    )
+    return prepared
+
+
+def _prepare_model(
+    model: Model,
+    run_presolve: bool = True,
+    backend: str = "",
+) -> PreparedModel:
     start = time.perf_counter()
     form = model.to_matrix_form()
 

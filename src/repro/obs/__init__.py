@@ -1,0 +1,53 @@
+"""repro.obs — end-to-end request tracing, dashboard, and capture→replay.
+
+Stdlib-only observability for the serving stack: :mod:`repro.obs.trace`
+(trace/span model, ``X-Repro-Trace`` propagation, solver stage hooks),
+:mod:`repro.obs.recorder` (bounded ring + rotating JSONL sink behind
+``GET /debug/traces``), :mod:`repro.obs.dashboard` (the ``/dashboard`` HTML),
+and :mod:`repro.obs.capture` (captured traces → ``ModeSchedule``/TraceReplay
+scenarios and loadgen replay files; ``python -m repro.obs export``).
+"""
+
+from repro.obs.capture import (
+    CAPTURE_SCHEMA_VERSION,
+    build_capture,
+    capture_schedule,
+    load_capture,
+    load_trace_docs,
+    write_capture,
+)
+from repro.obs.recorder import JsonlSink, TraceRecorder, TraceRing
+from repro.obs.trace import (
+    TRACE_HEADER,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Trace,
+    collect_stages,
+    format_trace_header,
+    new_id,
+    parse_trace_header,
+    record_stage,
+    stage_timer,
+)
+
+__all__ = [
+    "CAPTURE_SCHEMA_VERSION",
+    "TRACE_HEADER",
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Trace",
+    "TraceRing",
+    "JsonlSink",
+    "TraceRecorder",
+    "new_id",
+    "parse_trace_header",
+    "format_trace_header",
+    "record_stage",
+    "stage_timer",
+    "collect_stages",
+    "build_capture",
+    "capture_schedule",
+    "load_trace_docs",
+    "load_capture",
+    "write_capture",
+]

@@ -1,0 +1,108 @@
+"""CLI for the observability subsystem.
+
+``export`` turns recorded traces into a replayable capture document::
+
+    # from a sink file (or a saved /debug/traces?full=1 response)
+    python -m repro.obs export traces.jsonl -o capture.json
+
+    # straight from a live gateway or fleet router
+    python -m repro.obs export 127.0.0.1:8765 -o capture.json --limit 200
+
+The capture feeds both replay paths: the discrete-event simulator
+(``TraceReplayTraffic.from_capture``) and the load generator
+(``python -m repro.server.loadgen --replay capture.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence, Tuple
+
+from repro.obs.capture import (
+    build_capture,
+    capture_schedule,
+    fetch_trace_docs,
+    load_trace_docs,
+    write_capture,
+)
+
+
+def _parse_endpoint(source: str) -> Optional[Tuple[str, int]]:
+    """``host:port`` or ``http://host:port`` → address; ``None`` for paths."""
+    stripped = source
+    for prefix in ("http://", "https://"):
+        if stripped.startswith(prefix):
+            stripped = stripped[len(prefix):]
+            break
+    stripped = stripped.rstrip("/")
+    host, sep, port = stripped.rpartition(":")
+    if not sep or not port.isdigit() or "/" in stripped:
+        return None
+    return (host or "127.0.0.1"), int(port)
+
+
+def _export(args: argparse.Namespace) -> int:
+    endpoint = _parse_endpoint(args.source)
+    if endpoint is not None:
+        host, port = endpoint
+        try:
+            docs = fetch_trace_docs(host, port, limit=args.limit)
+        except OSError as exc:
+            print(f"export FAIL: cannot fetch traces from {host}:{port}: {exc}",
+                  file=sys.stderr)
+            return 1
+    else:
+        try:
+            docs = load_trace_docs(args.source)
+        except OSError as exc:
+            print(f"export FAIL: cannot read {args.source}: {exc}", file=sys.stderr)
+            return 1
+    capture = build_capture(docs, source=args.source)
+    requests = capture["requests"]
+    if not requests:
+        print(
+            f"export FAIL: {args.source} holds no replayable solve traces "
+            "(decoded requests carry a fingerprint in trace metadata)",
+            file=sys.stderr,
+        )
+        return 1
+    write_capture(capture, args.output)
+    schedule = capture_schedule(capture)
+    print(
+        f"export OK: {len(requests)} requests "
+        f"({len(set(r['fingerprint'] for r in requests))} unique fingerprints) "
+        f"spanning {schedule.duration:.3f}s -> {args.output}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace capture tooling (export recorded traces for replay).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    export = commands.add_parser(
+        "export",
+        help="distil traces into a replayable capture document",
+    )
+    export.add_argument(
+        "source",
+        help="traces.jsonl / saved trace JSON, or host:port of a live "
+        "gateway or router to fetch from",
+    )
+    export.add_argument("-o", "--output", default="capture.json")
+    export.add_argument(
+        "--limit", type=int, default=500,
+        help="max traces to fetch from a live endpoint",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "export":
+        return _export(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke job
+    raise SystemExit(main())

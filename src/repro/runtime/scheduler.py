@@ -98,6 +98,26 @@ class ModeSchedule:
             now += self.dwell_at(index)
         return timed
 
+    # ------------------------------------------------------------------
+    # serialization (capture→replay round trips through JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe document; :meth:`from_dict` inverts it losslessly."""
+        return {
+            "steps": [[region, mode] for region, mode in self.steps],
+            "dwells": [float(dwell) for dwell in self.dwells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModeSchedule":
+        steps = tuple(
+            (str(region), str(mode)) for region, mode in data.get("steps", [])
+        )
+        return cls(
+            steps=steps,
+            dwells=tuple(float(dwell) for dwell in data.get("dwells", ())),
+        )
+
 
 def round_robin_schedule(
     regions: Sequence[str],

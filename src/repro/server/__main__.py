@@ -31,6 +31,9 @@ def build_config(args: argparse.Namespace) -> GatewayConfig:
         cache_dir=args.cache_dir,
         cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None,
         trust_client_id=args.trust_client_id,
+        tracing=not args.no_trace,
+        trace_capacity=args.trace_capacity,
+        trace_sink=args.trace_sink,
     )
 
 
@@ -102,6 +105,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--cache-capacity", type=int, default=1024,
         help="in-memory LRU entries (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--no-trace", action="store_true",
+        help="disable request tracing (/debug/traces answers 404)",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=256,
+        help="completed traces kept in the in-memory ring",
+    )
+    parser.add_argument(
+        "--trace-sink", default=None, metavar="PATH",
+        help="also append completed traces to this rotating JSONL file "
+        "(feed it to `python -m repro.obs export` for capture->replay)",
     )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)

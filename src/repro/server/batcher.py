@@ -20,12 +20,18 @@ measures against.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.obs.trace import Span, Trace
 from repro.service.jobs import SolveJob
 from repro.service.results import JobResult
 
 __all__ = ["BatcherDraining", "MicroBatcher"]
+
+#: Trace context a submission may carry through the batch window: the request
+#: trace plus the parent span new batcher spans hang under.
+TraceCtx = Tuple[Trace, Optional[Span]]
 
 
 class BatcherDraining(RuntimeError):
@@ -58,7 +64,7 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait = max_wait
         self._on_batch = on_batch
-        self._pending: List[Tuple[SolveJob, asyncio.Future]] = []
+        self._pending: List[Tuple[SolveJob, asyncio.Future, Optional[TraceCtx], float]] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._tasks: Set[asyncio.Task] = set()
         self._inflight_jobs = 0
@@ -70,13 +76,19 @@ class MicroBatcher:
         """Jobs accepted but not yet answered (pending window + in flight)."""
         return len(self._pending) + self._inflight_jobs
 
-    async def submit(self, job: SolveJob) -> JobResult:
-        """Enqueue one job and wait for its (possibly shared) result."""
+    async def submit(self, job: SolveJob, trace_ctx: Optional[TraceCtx] = None) -> JobResult:
+        """Enqueue one job and wait for its (possibly shared) result.
+
+        ``trace_ctx`` (the request trace and the span batcher work should
+        nest under) rides alongside the job; when present, the time the job
+        spent coalescing in the window is recorded as a ``batch.assembly``
+        span annotated with the batch shape it ended up in.
+        """
         if self._closed:
             raise BatcherDraining("batcher is draining; no new submissions")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((job, future))
+        self._pending.append((job, future, trace_ctx, time.perf_counter()))
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._timer is None:
@@ -100,23 +112,38 @@ class MicroBatcher:
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _run_batch(self, batch: List[Tuple[SolveJob, asyncio.Future]]) -> None:
+    async def _run_batch(
+        self, batch: List[Tuple[SolveJob, asyncio.Future, Optional[TraceCtx], float]]
+    ) -> None:
         unique: Dict[str, SolveJob] = {}
-        for job, _future in batch:
+        for job, _future, _ctx, _submitted in batch:
             unique.setdefault(job.fingerprint, job)
         if self._on_batch is not None:
             self._on_batch(len(batch), len(unique))
+        flushed = time.perf_counter()
+        for _job, _future, ctx, submitted in batch:
+            if ctx is None:
+                continue
+            trace, parent = ctx
+            trace.add_span(
+                "batch.assembly",
+                submitted,
+                flushed,
+                parent=parent,
+                batch_size=len(batch),
+                unique=len(unique),
+            )
         try:
             results = await self._solve_batch(list(unique.values()))
         except Exception as exc:  # noqa: BLE001 — fail the waiters, not the loop
-            for _job, future in batch:
+            for _job, future, _ctx, _submitted in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
         finally:
             self._inflight_jobs -= len(batch)
         seen_first: Set[str] = set()
-        for job, future in batch:
+        for job, future, _ctx, _submitted in batch:
             if future.done():
                 continue
             result = results.get(job.fingerprint)

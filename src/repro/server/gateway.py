@@ -37,14 +37,30 @@ from repro.analysis.report import (
     server_counter_rows,
     sim_latency_rows,
 )
+from repro.obs.recorder import TraceRecorder
+from repro.obs.trace import (
+    TRACE_HEADER,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Trace,
+    new_id,
+    summarize_trace_doc,
+)
 from repro.server.admission import AdmissionController
 from repro.server.batcher import BatcherDraining, MicroBatcher
-from repro.server.http import HttpError, HttpRequest, read_request, write_response
+from repro.server.http import (
+    HttpError,
+    HttpRequest,
+    parse_query,
+    read_request,
+    write_response,
+)
 from repro.server.metrics import GatewayMetrics
 from repro.server.protocol import ProtocolError, job_from_dict
 from repro.server.workers import WorkerPool
-from repro.service.cache import SolveCache
+from repro.service.cache import CACHE_SCHEMA_VERSION, SolveCache
 from repro.service.results import JobResult
+from repro.utils.buildinfo import git_rev
 
 __all__ = ["GatewayConfig", "SolveGateway", "BackgroundGateway"]
 
@@ -87,6 +103,14 @@ class GatewayConfig:
         trusting it lets an id-spinning client mint a fresh full-burst bucket
         per request and void the rate limit.  Turn it on only behind an
         authenticating proxy that sets the header itself.
+    tracing, trace_capacity, trace_sink:
+        Request tracing (:mod:`repro.obs`).  When on, every ``/solve``
+        records a multi-span trace (decode, admission, cache lookup,
+        single-flight wait, batch assembly, solve + solver stages) into an
+        in-memory ring of ``trace_capacity`` traces served at
+        ``GET /debug/traces``; ``trace_sink`` additionally appends every
+        completed trace to a rotating JSONL file for capture→replay
+        (``python -m repro.obs export``).
     """
 
     host: str = "127.0.0.1"
@@ -106,6 +130,9 @@ class GatewayConfig:
     flight_timeout: float = 60.0
     flight_poll: float = 0.02
     trust_client_id: bool = False
+    tracing: bool = True
+    trace_capacity: int = 256
+    trace_sink: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
@@ -148,6 +175,14 @@ class SolveGateway:
             max_queue_depth=self.config.max_queue_depth,
             rate_limit=self.config.rate_limit,
             rate_burst=self.config.rate_burst,
+        )
+        self.recorder: Optional[TraceRecorder] = (
+            TraceRecorder(
+                capacity=self.config.trace_capacity,
+                sink_path=self.config.trace_sink,
+            )
+            if self.config.tracing
+            else None
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
@@ -239,7 +274,13 @@ class SolveGateway:
             # roll-up and the load generator consume
             raw = "format=json" in query.split("&")
             return 200, self.metrics_snapshot(raw=raw), None
-        if route[1] in ("/solve", "/healthz", "/metrics"):
+        if route == ("GET", "/debug/traces"):
+            return self._debug_traces(query)
+        if request.method == "GET" and path.startswith("/debug/traces/"):
+            return self._debug_trace_by_id(path[len("/debug/traces/"):])
+        if route == ("GET", "/dashboard"):
+            return 200, self._dashboard(), None
+        if route[1] in ("/solve", "/healthz", "/metrics", "/dashboard", "/debug/traces"):
             return 405, {"error": f"{request.method} not allowed on {route[1]}"}, None
         return 404, {"error": f"no route for {request.method} {route[1]}"}, None
 
@@ -249,12 +290,64 @@ class SolveGateway:
     async def _solve(
         self, request: HttpRequest, client: str
     ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+        trace: Optional[Trace] = None
+        root: Optional[Span] = None
+        if self.recorder is not None:
+            # continue the router-minted trace when the header names one,
+            # otherwise this gateway is the origin and mints the id itself
+            trace = Trace.begin(
+                request.header(TRACE_HEADER) or None,
+                origin="gateway",
+                metadata={"client": client},
+            )
+            root = Span(
+                name="gateway.request",
+                span_id=new_id(),
+                parent_id=trace.remote_parent,
+                start=trace.start,
+                end=0.0,
+            )
+        status = 500
+        try:
+            status, payload, headers = await self._solve_inner(
+                request, client, trace, root
+            )
+            if trace is not None:
+                headers = dict(headers or {})
+                headers.setdefault(TRACE_HEADER, trace.trace_id)
+            return status, payload, headers
+        finally:
+            # every exit — answered, shed, or crashed — lands the trace in
+            # the recorder with the root span first and the final status
+            if trace is not None:
+                root.annotations["http_status"] = status
+                root.end = trace.wall(time.perf_counter())
+                trace.spans.insert(0, root)
+                trace.finish("ok" if status == 200 else f"http_{status}")
+                self.recorder.record(trace)
+
+    async def _solve_inner(
+        self,
+        request: HttpRequest,
+        client: str,
+        trace: Optional[Trace],
+        root: Optional[Span],
+    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
         self.metrics.received += 1
         if self._draining:
             self.metrics.rejected_draining += 1
             return 503, {"error": "gateway is draining"}, {"Retry-After": "1"}
 
+        rate_started = time.perf_counter()
         decision = self.admission.check_rate(client)
+        if trace is not None:
+            trace.add_span(
+                "admission.rate",
+                rate_started,
+                time.perf_counter(),
+                parent=root,
+                admitted=decision.admitted,
+            )
         if not decision.admitted:
             self.metrics.shed_rate_limited += 1
             return 429, {"error": "shed", "reason": decision.reason}, {"Retry-After": "1"}
@@ -270,13 +363,28 @@ class SolveGateway:
             )
         except (HttpError, ProtocolError) as exc:
             self.metrics.bad_requests += 1
+            if trace is not None:
+                trace.add_span(
+                    "gateway.decode", started, time.perf_counter(),
+                    parent=root, error=str(exc),
+                )
             return 400, {"error": str(exc)}, None
+        if trace is not None:
+            trace.add_span("gateway.decode", started, time.perf_counter(), parent=root)
+            trace.metadata["fingerprint"] = job.fingerprint
+            trace.metadata["job"] = job.name
 
+        lookup_started = time.perf_counter()
         if self.cache.directory is None:
             hit = self.cache.get(job.fingerprint)  # pure in-memory probe
         else:
             # the disk layer does file IO on a miss-in-memory: off the loop
             hit = await loop.run_in_executor(None, self.cache.get, job.fingerprint)
+        if trace is not None:
+            trace.add_span(
+                "cache.lookup", lookup_started, time.perf_counter(),
+                parent=root, hit=hit is not None,
+            )
         if hit is not None:
             self.metrics.observe_hit(time.perf_counter() - started)
             return 200, self._result_payload(job, hit, cached=True), None
@@ -293,7 +401,13 @@ class SolveGateway:
                 None, self.cache.try_acquire_flight, job.fingerprint
             )
             if not acquired:
+                flight_started = time.perf_counter()
                 result = await self._await_flight(job)
+                if trace is not None:
+                    trace.add_span(
+                        "flight.wait", flight_started, time.perf_counter(),
+                        parent=root, landed=result is not None,
+                    )
                 if result is not None:
                     self.metrics.flight_waits += 1
                     self.metrics.observe_hit(time.perf_counter() - started)
@@ -307,7 +421,14 @@ class SolveGateway:
                     None, self.cache.try_acquire_flight, job.fingerprint
                 )
 
+        queue_started = time.perf_counter()
         decision = self.admission.check_queue(self.batcher.queue_depth)
+        if trace is not None:
+            trace.add_span(
+                "admission.queue", queue_started, time.perf_counter(),
+                parent=root, admitted=decision.admitted,
+                queue_depth=self.batcher.queue_depth,
+            )
         if not decision.admitted:
             if acquired:
                 await loop.run_in_executor(
@@ -316,14 +437,30 @@ class SolveGateway:
             self.metrics.shed_queue_full += 1
             return 429, {"error": "shed", "reason": decision.reason}, {"Retry-After": "1"}
 
+        submit_started = time.perf_counter()
+        solve_span: Optional[Span] = None
+        if trace is not None:
+            # pre-minted so the batcher's batch.assembly span (and the solver
+            # stage spans) can nest under it while it is still open
+            solve_span = Span(
+                name="gateway.solve",
+                span_id=new_id(),
+                parent_id=root.span_id,
+                start=trace.wall(submit_started),
+                end=0.0,
+            )
         try:
-            result = await self.batcher.submit(job)
+            result = await self.batcher.submit(
+                job, trace_ctx=(trace, solve_span) if trace is not None else None
+            )
         except BatcherDraining:
             # the drain flag flipped while this request was decoding: the
             # rejection is retryable, not an internal error
             self.metrics.rejected_draining += 1
             return 503, {"error": "gateway is draining"}, {"Retry-After": "1"}
         except Exception as exc:  # noqa: BLE001 — solver crash must answer 500
+            if solve_span is not None:
+                solve_span.annotations["error"] = f"{type(exc).__name__}: {exc}"
             self.metrics.observe_solved(time.perf_counter() - started, error=True)
             return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
         finally:
@@ -331,6 +468,17 @@ class SolveGateway:
                 await loop.run_in_executor(
                     None, self.cache.release_flight, job.fingerprint
                 )
+            if solve_span is not None:
+                solve_span.end = trace.wall(time.perf_counter())
+                trace.spans.append(solve_span)
+        if solve_span is not None:
+            solve_span.annotations.update(
+                cached=result.cached, backend=result.backend, worker=result.worker
+            )
+            if not result.cached:
+                # lay the solver's stage timings (collected in the worker
+                # thread/process) as children of the solve span
+                trace.add_stage_spans(result.stages, solve_span)
         elapsed = time.perf_counter() - started
         if result.status == "error":
             self.metrics.observe_solved(elapsed, error=True)
@@ -369,11 +517,55 @@ class SolveGateway:
             await asyncio.sleep(self.config.flight_poll)
 
     def _healthz(self) -> Dict[str, object]:
+        uptime = round(self.metrics.uptime_s, 3)
         return {
             "status": "draining" if self._draining else "ok",
-            "uptime_s": round(self.metrics.uptime_s, 3),
+            "uptime_s": uptime,  # legacy key, kept for old probes
+            "uptime_seconds": uptime,
+            "git_rev": git_rev(),
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "tracing": self.recorder is not None,
             "queue_depth": self.queue_depth,
         }
+
+    # ------------------------------------------------------------------
+    # observability routes (repro.obs)
+    # ------------------------------------------------------------------
+    def _debug_traces(
+        self, query: str
+    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+        if self.recorder is None:
+            return 404, {"error": "tracing is disabled on this gateway"}, None
+        params = parse_query(query)
+        try:
+            limit = int(params.get("limit", "50"))
+        except ValueError:
+            return 400, {"error": "limit must be an integer"}, None
+        full = params.get("full", "") in ("1", "true", "yes")
+        docs = self.recorder.list(limit=max(1, limit))
+        traces = docs if full else [summarize_trace_doc(doc) for doc in docs]
+        return 200, {"traces": traces, "stats": self.recorder.stats()}, None
+
+    def _debug_trace_by_id(
+        self, trace_id: str
+    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+        if self.recorder is None:
+            return 404, {"error": "tracing is disabled on this gateway"}, None
+        doc = self.recorder.get(trace_id.strip("/"))
+        if doc is None:
+            return 404, {"error": f"no trace {trace_id!r} (evicted or never seen)"}, None
+        return 200, doc, None
+
+    def _dashboard(self):
+        from repro.obs.dashboard import render_dashboard
+
+        return render_dashboard(
+            self.metrics_snapshot(raw=True),
+            traces=self.recorder.list(limit=20) if self.recorder is not None else [],
+            title=f"repro gateway :{self.port}",
+            health=self._healthz(),
+        )
 
     def metrics_snapshot(self, raw: bool = False) -> Dict[str, object]:
         """The ``/metrics`` document: raw numbers plus rendered tables.

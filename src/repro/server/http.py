@@ -14,7 +14,26 @@ import dataclasses
 import json
 from typing import Dict, Optional, Tuple
 
-__all__ = ["HttpError", "HttpRequest", "read_request", "write_response", "REASONS"]
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HtmlPayload",
+    "read_request",
+    "write_response",
+    "parse_query",
+    "REASONS",
+]
+
+
+def parse_query(query: str) -> Dict[str, str]:
+    """``"a=1&b"`` → ``{"a": "1", "b": ""}`` (no decoding; keys are ASCII)."""
+    params: Dict[str, str] = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        name, _sep, value = pair.partition("=")
+        params[name] = value
+    return params
 
 #: Largest accepted request body; big devices encode to ~1 MB, so 32 MB is
 #: generous while still bounding a hostile Content-Length.
@@ -33,6 +52,15 @@ REASONS = {
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+
+class HtmlPayload(str):
+    """A response body to serve as ``text/html`` instead of JSON.
+
+    The gateway/router response path is JSON-first; the dashboard wraps its
+    rendered page in this marker type so :func:`encode_response` picks the
+    right content type without a parallel write path.
+    """
 
 
 class HttpError(Exception):
@@ -134,7 +162,10 @@ def encode_response(
     extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """Serialize a JSON response (dict payload) or raw bytes."""
-    if isinstance(payload, (bytes, bytearray)):
+    if isinstance(payload, HtmlPayload):
+        body = str(payload).encode("utf-8")
+        content_type = "text/html; charset=utf-8"
+    elif isinstance(payload, (bytes, bytearray)):
         body = bytes(payload)
         content_type = "application/octet-stream"
     else:

@@ -1,9 +1,10 @@
 """Gateway observability: counters, gauges and latency histograms.
 
 Latencies are recorded into fixed log-spaced buckets (deterministic, O(1)
-memory, thread-safe under the GIL), with quantiles read back as the upper
-bound of the covering bucket — the standard Prometheus-histogram trade-off:
-a p99 that is never under-reported, at ~18% bucket resolution.
+memory, thread-safe under the GIL), with quantiles read back by linear
+interpolation within the covering bucket, clamped to the observed
+``[min, max]`` — the standard Prometheus-histogram trade-off at ~±25%
+worst-case bucket resolution.
 
 The snapshot feeds three consumers: the ``/metrics`` endpoint (flat JSON),
 the :mod:`repro.analysis` tables (``SERVER_COUNTER_HEADERS`` two-column table
@@ -69,10 +70,16 @@ class LatencyHistogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, fraction: float) -> float:
-        """Upper bound of the bucket holding the ``fraction`` quantile.
+        """The ``fraction`` quantile, linearly interpolated within its bucket.
 
-        Never under-reports: the true quantile is at most the returned value.
-        The overflow bucket reports the exact observed maximum.
+        The nearest-rank sample's bucket is located, then the rank's position
+        inside that bucket interpolates between the bucket's lower and upper
+        edges — so a rank at the bottom of a bucket no longer reports the
+        bucket's *upper* bound (the old boundary behaviour, a full bucket of
+        over-report).  The result is clamped to the observed ``[min, max]``:
+        interpolation can never report below the smallest or above the
+        largest sample actually seen.  The overflow bucket reports the exact
+        observed maximum.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be within [0, 1], got {fraction}")
@@ -81,11 +88,16 @@ class LatencyHistogram:
         rank = max(1, int(fraction * self.count + 0.5))  # nearest-rank
         seen = 0
         for index, bucket_count in enumerate(self.counts):
+            previous = seen
             seen += bucket_count
             if seen >= rank:
-                if index < len(self.bounds):
-                    return min(self.bounds[index], self.max)
-                return self.max
+                if index >= len(self.bounds):
+                    return self.max
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                position = (rank - previous) / bucket_count
+                value = lower + (upper - lower) * position
+                return min(max(value, self.min), self.max)
         return self.max
 
     def summary(self) -> Dict[str, float]:
@@ -161,12 +173,25 @@ def merge_raw_histograms(raws: Iterable[Mapping[str, object]]) -> LatencyHistogr
     The fleet router's ``/metrics`` roll-up uses this to serve fleet-wide
     latency percentiles: summing bucket counts is exact, whereas averaging
     the replicas' rendered p99s would be meaningless.
+
+    Snapshots whose bucket bounds differ from the first snapshot's are
+    refused with a :class:`ValueError` naming the offending snapshot —
+    summing counts across mismatched bucket layouts would silently produce
+    garbage percentiles (e.g. when replicas run mixed code versions).
     """
     merged: Optional[LatencyHistogram] = None
-    for raw in raws:
+    for index, raw in enumerate(raws):
         histogram = LatencyHistogram.from_raw(raw)
         if merged is None:
             merged = histogram
+        elif histogram.bounds != merged.bounds:
+            raise ValueError(
+                f"histogram snapshot #{index} has different bounds "
+                f"({len(histogram.bounds)} buckets, first edge "
+                f"{histogram.bounds[0] if histogram.bounds else 'none'}) than "
+                f"snapshot #0 ({len(merged.bounds)} buckets) — refusing to "
+                "merge mismatched bucket layouts"
+            )
         else:
             merged.merge(histogram)
     return merged if merged is not None else LatencyHistogram()

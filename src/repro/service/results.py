@@ -40,6 +40,10 @@ class JobResult:
     error: Optional[str] = None
     cached: bool = False
     worker: str = ""
+    #: Solver stage timings (``{"name": ..., "seconds": ...}`` dicts) captured
+    #: by the tracing hooks during the solve; ``None`` for cached entries
+    #: written before tracing existed (``from_dict`` tolerates both).
+    stages: Optional[List[Dict[str, object]]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -62,6 +66,7 @@ class JobResult:
             metrics=report.metrics.as_dict() if report.metrics is not None else None,
             floorplan=floorplan,
             worker=worker,
+            stages=getattr(report, "stages", None),
         )
 
     @classmethod

@@ -223,6 +223,20 @@ class TraceReplayTraffic(TrafficModel):
         self.schedule = schedule
         self.offset = float(offset)
 
+    @classmethod
+    def from_capture(cls, capture: dict, offset: float = 0.0) -> "TraceReplayTraffic":
+        """Replay a production capture (:mod:`repro.obs.capture`).
+
+        The capture's embedded schedule encodes each captured solve request
+        as one activation (region = job name, mode = fingerprint tag) with
+        dwells equal to the observed inter-arrival gaps, so the simulator
+        sees the production request sequence at its original cadence.
+        """
+        schedule = ModeSchedule.from_dict(capture.get("schedule", {}))
+        if not schedule.steps:
+            raise ValueError("capture carries no replayable requests")
+        return cls(schedule, offset=offset)
+
     def generate(self, horizon: float) -> List[ModeRequest]:
         horizon = self._check_horizon(horizon)
         return [

@@ -1,0 +1,36 @@
+"""Build identity for health endpoints: git revision, cached once.
+
+``/healthz`` on the gateway and router reports the serving build so the
+dashboard and fleet readiness probes can spot a replica running stale code
+after a rolling restart.  The lookup shells out to git once per process and
+caches the answer (including the ``"unknown"`` of a non-checkout install) —
+health checks are hot paths and must not fork per probe.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import subprocess
+
+__all__ = ["git_rev"]
+
+
+@functools.lru_cache(maxsize=1)
+def git_rev() -> str:
+    """Short git revision of the running checkout, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+            # anchor to the installed package, not the caller's cwd: replica
+            # subprocesses are launched from arbitrary working directories
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"

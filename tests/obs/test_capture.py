@@ -1,0 +1,136 @@
+"""Capture building, schedule encoding, and both replay front-ends (offline)."""
+
+import json
+
+import pytest
+
+from repro.obs.capture import (
+    CAPTURE_SCHEMA_VERSION,
+    build_capture,
+    capture_schedule,
+    load_capture,
+    load_trace_docs,
+    select_requests,
+    write_capture,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.runtime.scheduler import ModeSchedule
+from repro.sim.traffic import TraceReplayTraffic
+
+
+def trace_doc(tid, start, fingerprint, job, origin="router", remote_parent=None):
+    return {
+        "schema": 1,
+        "trace_id": tid,
+        "origin": origin,
+        "remote_parent": remote_parent,
+        "status": "ok",
+        "start": start,
+        "end": start + 0.01,
+        "duration": 0.01,
+        "metadata": {"fingerprint": fingerprint, "job": job, "client": "c0"},
+        "spans": [],
+    }
+
+
+@pytest.fixture
+def docs():
+    return [
+        trace_doc("t1", 100.0, "aaa111222333", "demo-0"),
+        # the owning replica's fragment of the same request: must be deduped
+        trace_doc("t1", 100.002, "aaa111222333", "demo-0",
+                  origin="gateway", remote_parent="abcd"),
+        trace_doc("t2", 100.5, "bbb444555666", "demo-1"),
+        trace_doc("t3", 101.25, "aaa111222333", "demo-0"),
+        # never decoded (no fingerprint): not replayable
+        {"trace_id": "t4", "start": 102.0, "metadata": {}, "spans": []},
+    ]
+
+
+class TestSelectRequests:
+    def test_dedupes_by_trace_id_preferring_origin(self, docs):
+        requests = select_requests(docs)
+        assert [r["trace_id"] for r in requests] == ["t1", "t2", "t3"]
+        assert requests[0]["origin"] == "router"  # not the replica fragment
+
+    def test_offsets_are_relative_to_first_arrival(self, docs):
+        requests = select_requests(docs)
+        assert [r["offset"] for r in requests] == [0.0, 0.5, 1.25]
+
+
+class TestCaptureDocument:
+    def test_schedule_reproduces_captured_cadence(self, docs):
+        capture = build_capture(docs, source="unit")
+        schedule = capture_schedule(capture)
+        assert schedule.steps == (
+            ("demo-0", "fp-aaa111222333"),
+            ("demo-1", "fp-bbb444555666"),
+            ("demo-0", "fp-aaa111222333"),
+        )
+        timed = schedule.timed_steps()
+        assert [time for time, _r, _m in timed] == [0.0, 0.5, 1.25]
+
+    def test_sim_replay_fires_at_captured_offsets(self, docs):
+        capture = build_capture(docs)
+        requests = TraceReplayTraffic.from_capture(capture).generate(10.0)
+        assert [request.time for request in requests] == [0.0, 0.5, 1.25]
+        assert requests[1].region == "demo-1"
+
+    def test_empty_capture_refused_by_sim_replay(self):
+        with pytest.raises(ValueError, match="no replayable"):
+            TraceReplayTraffic.from_capture(build_capture([]))
+
+    def test_file_round_trip_and_schema_gate(self, tmp_path, docs):
+        path = str(tmp_path / "capture.json")
+        capture = build_capture(docs)
+        write_capture(capture, path)
+        loaded = load_capture(path)
+        assert loaded["requests"] == capture["requests"]
+        assert loaded["schema"] == CAPTURE_SCHEMA_VERSION
+        bad = dict(capture, schema=99)
+        write_capture(bad, path)
+        with pytest.raises(ValueError, match="schema"):
+            load_capture(path)
+
+
+class TestLoadTraceDocs:
+    def test_reads_jsonl_with_torn_lines(self, tmp_path, docs):
+        path = tmp_path / "traces.jsonl"
+        lines = [json.dumps(doc) for doc in docs[:3]] + ['{"torn": tr']
+        path.write_text("\n".join(lines) + "\n")
+        assert len(load_trace_docs(str(path))) == 3
+
+    def test_reads_debug_endpoint_response_shape(self, tmp_path, docs):
+        path = tmp_path / "traces.json"
+        path.write_text(json.dumps({"traces": docs[:2], "stats": {}}))
+        assert len(load_trace_docs(str(path))) == 2
+
+
+class TestModeScheduleSerialization:
+    def test_round_trip_preserves_steps_and_dwells(self):
+        schedule = ModeSchedule(
+            steps=(("A", "mode1"), ("B", "mode2")), dwells=(0.5, 0.0)
+        )
+        clone = ModeSchedule.from_dict(schedule.to_dict())
+        assert clone == schedule
+        assert json.loads(json.dumps(schedule.to_dict())) == schedule.to_dict()
+
+    def test_untimed_round_trip(self):
+        schedule = ModeSchedule(steps=(("A", "mode1"),))
+        assert ModeSchedule.from_dict(schedule.to_dict()) == schedule
+
+
+class TestExportCli:
+    def test_export_from_jsonl(self, tmp_path, docs, capsys):
+        source = tmp_path / "traces.jsonl"
+        source.write_text("\n".join(json.dumps(doc) for doc in docs) + "\n")
+        out = str(tmp_path / "capture.json")
+        assert obs_main(["export", str(source), "-o", out]) == 0
+        assert "export OK: 3 requests" in capsys.readouterr().out
+        assert len(load_capture(out)["requests"]) == 3
+
+    def test_export_fails_cleanly_on_empty_source(self, tmp_path, capsys):
+        source = tmp_path / "empty.jsonl"
+        source.write_text("")
+        assert obs_main(["export", str(source), "-o", str(tmp_path / "c.json")]) == 1
+        assert "no replayable" in capsys.readouterr().err

@@ -1,0 +1,94 @@
+"""Unit tests for the trace ring (eviction) and the JSONL sink (rotation)."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.recorder import JsonlSink, TraceRecorder, TraceRing
+from repro.obs.trace import Trace
+
+
+def doc(trace_id: str, **extra):
+    return {"trace_id": trace_id, "status": "ok", "spans": [], **extra}
+
+
+class TestRingEviction:
+    def test_oldest_evicted_beyond_capacity(self):
+        ring = TraceRing(capacity=3)
+        for index in range(5):
+            ring.add(doc(f"t{index}"))
+        assert len(ring) == 3
+        assert ring.get("t0") is None and ring.get("t1") is None
+        assert ring.get("t2") is not None
+        stats = ring.stats()
+        assert stats == {"capacity": 3, "size": 3, "recorded": 5, "evicted": 2}
+
+    def test_list_is_most_recent_first_and_bounded(self):
+        ring = TraceRing(capacity=10)
+        for index in range(4):
+            ring.add(doc(f"t{index}"))
+        assert [d["trace_id"] for d in ring.list()] == ["t3", "t2", "t1", "t0"]
+        assert [d["trace_id"] for d in ring.list(limit=2)] == ["t3", "t2"]
+
+    def test_same_id_re_record_replaces_in_place(self):
+        ring = TraceRing(capacity=2)
+        ring.add(doc("a", attempt=1))
+        ring.add(doc("b"))
+        ring.add(doc("a", attempt=2))  # replaces, does not re-order
+        ring.add(doc("c"))  # evicts "a" (still oldest), not "b"
+        assert ring.get("a") is None
+        assert ring.get("b") is not None and ring.get("c") is not None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRing(capacity=0)
+
+
+class TestSinkRotation:
+    def test_rotates_and_keeps_bounded_backups(self, tmp_path):
+        path = str(tmp_path / "traces.jsonl")
+        sink = JsonlSink(path, max_bytes=1024, backups=2)
+        big = {"trace_id": "x", "pad": "y" * 400}
+        for _ in range(12):
+            sink.write(big)
+        stats = sink.stats()
+        assert stats["written"] == 12
+        assert stats["rotations"] >= 2
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".1") and os.path.exists(path + ".2")
+        assert not os.path.exists(path + ".3")  # oldest backups are dropped
+        # every surviving line is intact JSON (rotation never tears a line)
+        for candidate in (path, path + ".1", path + ".2"):
+            with open(candidate, encoding="utf-8") as handle:
+                for line in handle:
+                    assert json.loads(line)["trace_id"] == "x"
+
+    def test_zero_backups_truncates(self, tmp_path):
+        path = str(tmp_path / "traces.jsonl")
+        sink = JsonlSink(path, max_bytes=1024, backups=0)
+        for _ in range(10):
+            sink.write({"pad": "z" * 300})
+        assert sink.stats()["rotations"] >= 1
+        assert not os.path.exists(path + ".1")
+
+    def test_max_bytes_floor(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(str(tmp_path / "t.jsonl"), max_bytes=10)
+
+
+class TestRecorderFacade:
+    def test_records_live_trace_and_plain_doc(self, tmp_path):
+        recorder = TraceRecorder(capacity=8, sink_path=str(tmp_path / "t.jsonl"))
+        trace = Trace.begin(None, origin="gateway")
+        with trace.span("work"):
+            pass
+        recorder.record(trace)  # still open: sealed on record
+        assert trace.status == "ok"
+        assert recorder.get(trace.trace_id)["status"] == "ok"
+        recorder.record(doc("plain"))
+        assert recorder.get(trace.trace_id)["origin"] == "gateway"
+        assert [d["trace_id"] for d in recorder.list()][0] == "plain"
+        stats = recorder.stats()
+        assert stats["recorded"] == 2
+        assert stats["sink"]["written"] == 2

@@ -99,6 +99,34 @@ class TestLatencyHistogram:
         # every sample is 20 ms; one log-bucket of slack is ±50%
         assert 0.02 <= histogram.quantile(0.99) <= 0.03
 
+    def test_identical_samples_report_exactly(self):
+        # clamping to the observed [min, max] collapses interpolation to the
+        # true value when every sample is identical — the old boundary
+        # behaviour reported the bucket's upper edge (a full bucket high)
+        histogram = LatencyHistogram()
+        for _ in range(50):
+            histogram.observe(0.02)
+        for fraction in (0.01, 0.5, 0.99, 1.0):
+            assert histogram.quantile(fraction) == pytest.approx(0.02)
+
+    def test_interpolation_inside_a_wide_bucket(self):
+        histogram = LatencyHistogram(bounds=[10.0])
+        for sample in range(1, 10):  # 1..9, all in the (0, 10] bucket
+            histogram.observe(float(sample))
+        # rank 5 of 9 interpolates to 10 * 5/9 ≈ 5.6 — near the true median,
+        # not the bucket's upper edge
+        median = histogram.quantile(0.5)
+        assert 4.0 <= median <= 7.0
+        # and never outside the observed extremes
+        assert histogram.quantile(0.0) >= 1.0
+        assert histogram.quantile(1.0) <= 9.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = LatencyHistogram(bounds=[1.0])
+        histogram.observe(0.5)
+        histogram.observe(42.0)  # overflow bucket
+        assert histogram.quantile(1.0) == pytest.approx(42.0)
+
     def test_empty_summary(self):
         assert LatencyHistogram().summary() == {"count": 0}
 
