@@ -867,3 +867,120 @@ def runtime_reconfigure(profile: BenchProfile) -> Workload:
         return manager
 
     return Workload(run, units=len(steps), unit_name="reconfigs")
+
+
+# ----------------------------------------------------------------------
+# resilience: failure and overload behaviour under load
+# ----------------------------------------------------------------------
+@benchmark("resilience.failover_latency")
+def resilience_failover_latency(profile: BenchProfile) -> Workload:
+    """Warm-cache serving through the router while a replica is killed.
+
+    A 2-replica fleet is prefilled so every request is a cache hit, then each
+    timed round SIGKILLs one replica (alternating) and immediately throws a
+    closed-loop burst through the router.  The measured time is the price of
+    failover: circuit-breaker opening, jittered retries, and the supervisor
+    bringing the replica back.  ``errors`` must stay 0 — failover means the
+    *clients* never notice.
+    """
+    import tempfile
+
+    from repro.fleet import BackgroundFleet
+    from repro.fleet.manager import FleetConfig
+    from repro.server.loadgen import run_closed_loop
+
+    payloads = scenarios.server_payloads(unique=2)
+    fleet = BackgroundFleet(
+        fleet_config=FleetConfig(
+            replicas=2,
+            cache_dir=tempfile.mkdtemp(prefix="repro-bench-resilience-"),
+            backoff_base=0.1,
+            backoff_cap=0.5,
+            backoff_seed=0,
+        )
+    )
+    state = {"round": 0}
+
+    # prefill: one pass through the router so every replica-side miss lands
+    # in the shared tier and the timed rounds measure routing, not solving
+    run_closed_loop(fleet.host, fleet.port, payloads, clients=2, requests_per_client=2)
+
+    def run():
+        victim = state["round"] % 2
+        state["round"] += 1
+        fleet.manager.kill_replica(victim)
+        result = run_closed_loop(
+            fleet.host, fleet.port, payloads, clients=4, requests_per_client=4
+        )
+        # let the supervisor restore the victim before the next round kills
+        # the *other* replica, so the fleet never goes dark
+        fleet.manager.wait_healthy(victim, timeout=30.0)
+        workload.units = float(result.sent)
+        workload.extras.update(
+            {
+                "throughput_rps": round(result.throughput, 3),
+                "p50_ms": round(result.p50_s * 1e3, 3),
+                "p99_ms": round(result.p99_s * 1e3, 3),
+                "errors": float(result.errors),
+                "shed": float(result.shed),
+                "restarts": float(fleet.manager.total_restarts),
+            }
+        )
+        return result
+
+    workload = Workload(run, units=16.0, unit_name="requests")
+    workload.teardown = fleet.stop
+    return workload
+
+
+@benchmark("resilience.brownout_floor")
+def resilience_brownout_floor(profile: BenchProfile) -> Workload:
+    """Throughput floor of a browned-out gateway on heavy cache misses.
+
+    The gateway runs with ``brownout_watermark=1``: the moment any work
+    queues, the portfolio drops its MILP arm and answers heuristic-only,
+    flagged ``degraded``.  Each round is a fresh-fingerprint burst of the
+    heavy (~1-2 s MILP) instances — under brown-out they cost milliseconds,
+    and the measured throughput is the floor the fleet guarantees while
+    overloaded.  ``degraded_share`` in the extras is the evidence the
+    mechanism (not a warm cache) produced the numbers.
+    """
+    from repro.server.gateway import BackgroundGateway, GatewayConfig
+    from repro.server.loadgen import run_closed_loop
+
+    per_round = 4
+    rounds = profile.warmup + profile.repeats + 2
+    pool = scenarios.server_payloads(unique=rounds * per_round, heavy=True)
+    batches = [
+        pool[index * per_round : (index + 1) * per_round] for index in range(rounds)
+    ]
+    background = BackgroundGateway(
+        GatewayConfig(port=0, solver="portfolio", brownout_watermark=1)
+    )
+    gateway = background.gateway
+    state = {"round": 0, "degraded": 0.0}
+
+    def run():
+        batch = batches[state["round"] % len(batches)]
+        state["round"] += 1
+        result = run_closed_loop(
+            background.host, background.port, batch,
+            clients=per_round, requests_per_client=1,
+        )
+        degraded = float(gateway.metrics.degraded)
+        workload.units = float(result.sent)
+        workload.extras.update(
+            {
+                "throughput_rps": round(result.throughput, 3),
+                "p50_ms": round(result.p50_s * 1e3, 3),
+                "p99_ms": round(result.p99_s * 1e3, 3),
+                "errors": float(result.errors),
+                "degraded_share": (degraded - state["degraded"]) / max(1, result.sent),
+            }
+        )
+        state["degraded"] = degraded
+        return result
+
+    workload = Workload(run, units=float(per_round), unit_name="requests")
+    workload.teardown = background.stop
+    return workload

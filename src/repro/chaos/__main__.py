@@ -1,0 +1,74 @@
+"""CLI: run a seeded chaos plan against a fresh fleet and print the verdict.
+
+::
+
+    python -m repro.chaos --replicas 2 --horizon 8 --rate 0.5 --seed 7
+
+Exit status 0 when every invariant held, 1 otherwise — CI's ``chaos-smoke``
+job keys on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.chaos.plan import random_plan
+from repro.chaos.runner import run_chaos
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Inject seeded faults into a live fleet under load and "
+        "check the client-observable invariants.",
+    )
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--horizon", type=float, default=8.0,
+                        help="run length in seconds")
+    parser.add_argument("--rate", type=float, default=0.5,
+                        help="Poisson fault arrivals per second")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--clients", type=int, default=4,
+                        help="closed-loop traffic clients")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared cache tier (default: fresh temp dir)")
+    parser.add_argument("--p99-bound", type=float, default=30.0,
+                        help="max p99 latency (s) inside fault windows")
+    parser.add_argument("--no-cache-faults", action="store_true",
+                        help="restrict the plan to process faults "
+                        "(kill/pause/slow)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    args = parser.parse_args(argv)
+
+    plan = random_plan(
+        replicas=args.replicas,
+        rate=args.rate,
+        horizon=args.horizon,
+        seed=args.seed,
+        include_cache_faults=not args.no_cache_faults,
+    )
+    print(f"chaos plan ({len(plan)} faults, seed {args.seed}):", file=sys.stderr)
+    for line in plan.describe():
+        print(f"  {line}", file=sys.stderr)
+
+    report = run_chaos(
+        plan,
+        replicas=args.replicas,
+        horizon=args.horizon,
+        clients=args.clients,
+        cache_dir=args.cache_dir,
+        p99_bound_s=args.p99_bound,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.format_report())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

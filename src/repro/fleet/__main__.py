@@ -91,6 +91,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="first restart delay for a crashed replica (s)",
     )
     parser.add_argument(
+        "--shed-watermark", type=float, default=0.0,
+        help="mean replica queue depth past which the router sheds at the "
+        "front door with Retry-After (0 = disabled)",
+    )
+    parser.add_argument(
         "--server-arg", action="append", default=[], metavar="ARG",
         help="extra argument passed through to every `python -m repro.server` "
         "replica (repeatable, e.g. --server-arg=--max-batch --server-arg=16)",
@@ -120,6 +125,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         host=args.host,
         port=args.port,
         vnodes=args.vnodes,
+        shed_watermark=args.shed_watermark if args.shed_watermark > 0 else None,
         tracing=not args.no_trace,
         trace_sink=args.trace_sink,
     )

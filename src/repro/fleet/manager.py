@@ -27,6 +27,7 @@ import dataclasses
 import http.client
 import json
 import os
+import random
 import signal
 import socket
 import subprocess
@@ -61,8 +62,15 @@ class FleetConfig:
         ``python -m repro.server`` invocation (batching, shard, admission
         knobs).
     backoff_base, backoff_cap:
-        Restart backoff: first restart after ``backoff_base`` seconds,
-        doubling per consecutive failure up to ``backoff_cap``.
+        Restart backoff: the ceiling doubles per consecutive failure from
+        ``backoff_base`` up to ``backoff_cap``; the actual delay is drawn
+        uniformly from ``[0, ceiling]`` (full jitter) so replicas killed
+        together do not restart in lockstep and stampede the shared cache.
+    backoff_jitter:
+        Disable to restore the deterministic ``base * 2^failures`` delay
+        (some supervision tests want exact restart instants).
+    backoff_seed:
+        Seed for the jitter RNG (chaos plans replay deterministically).
     healthy_reset_after:
         Seconds a replica must stay up for its backoff to reset.
     health_timeout:
@@ -79,6 +87,8 @@ class FleetConfig:
     server_args: Tuple[str, ...] = ()
     backoff_base: float = 0.25
     backoff_cap: float = 5.0
+    backoff_jitter: bool = True
+    backoff_seed: Optional[int] = None
     healthy_reset_after: float = 10.0
     health_timeout: float = 120.0
     poll_interval: float = 0.1
@@ -161,6 +171,7 @@ class FleetManager:
         self._supervisor: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._lock = threading.Lock()
+        self._backoff_rng = random.Random(config.backoff_seed)
         self._env = dict(os.environ)
         # make `-m repro.server` importable in the children even when the
         # parent runs from the source tree without an installed package
@@ -290,6 +301,21 @@ class FleetManager:
             replica.process.kill()
             replica.process.wait(timeout=10.0)
 
+    def pause_replica(self, index: int) -> None:
+        """SIGSTOP one replica.  The process still polls as alive, so the
+        supervisor will *not* restart it — exactly the wedged-but-alive shape
+        (holder of a single-flight lock that never progresses) the chaos
+        harness needs."""
+        replica = self.replicas[index]
+        if replica.process is not None and replica.alive:
+            replica.process.send_signal(signal.SIGSTOP)
+
+    def resume_replica(self, index: int) -> None:
+        """SIGCONT a previously paused replica."""
+        replica = self.replicas[index]
+        if replica.process is not None and replica.alive:
+            replica.process.send_signal(signal.SIGCONT)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -312,6 +338,16 @@ class FleetManager:
         )
         replica.started_at = time.monotonic()
 
+    def _restart_delay(self, consecutive_failures: int) -> float:
+        """Full-jitter backoff: uniform over ``[0, min(cap, base * 2^n)]``."""
+        ceiling = min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2.0 ** consecutive_failures),
+        )
+        if not self.config.backoff_jitter:
+            return ceiling
+        return self._backoff_rng.uniform(0.0, ceiling)
+
     def _supervise(self) -> None:
         while not self._stop.wait(self.config.poll_interval):
             now = time.monotonic()
@@ -327,11 +363,7 @@ class FleetManager:
                         continue
                     if replica.restart_due_at == 0.0:
                         # just observed the death: schedule the respawn
-                        delay = min(
-                            self.config.backoff_cap,
-                            self.config.backoff_base
-                            * (2.0 ** replica.consecutive_failures),
-                        )
+                        delay = self._restart_delay(replica.consecutive_failures)
                         replica.consecutive_failures += 1
                         replica.restart_due_at = now + delay
                         continue

@@ -31,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -41,6 +42,7 @@ from repro.analysis.report import (
     server_counter_rows,
     sim_latency_rows,
 )
+from repro.fleet.breaker import CircuitBreaker
 from repro.fleet.hashing import DEFAULT_VNODES, HashRing
 from repro.obs.recorder import TraceRecorder
 from repro.obs.trace import (
@@ -60,7 +62,14 @@ from repro.server.http import (
     write_response,
 )
 from repro.server.metrics import LatencyHistogram, merge_raw_histograms
-from repro.server.protocol import ProtocolError, job_from_dict
+from repro.server.protocol import (
+    DEADLINE_HEADER,
+    QUEUE_DEPTH_HEADER,
+    ProtocolError,
+    deadline_from_payload,
+    job_from_dict,
+    parse_deadline,
+)
 from repro.utils.buildinfo import git_rev
 
 __all__ = ["RouterConfig", "FleetRouter", "UpstreamError", "UpstreamPool"]
@@ -81,6 +90,8 @@ _SUMMED_COUNTERS = (
     "deduped_jobs",
     "flight_waits",
     "flight_takeovers",
+    "deadline_expired",
+    "degraded",
     "queue_depth",
 )
 
@@ -94,6 +105,9 @@ _SUMMED_CACHE = (
     "flights",
     "stale_locks",
     "corrupt_locks",
+    "broken_locks",
+    "lock_errors",
+    "store_errors",
 )
 
 
@@ -116,12 +130,33 @@ class RouterConfig:
     upstream_idle_max:
         Keep-alive connections pooled per replica.
     down_cooldown:
-        Seconds a failed upstream is skipped before being probed again.
+        Seconds a failed upstream's circuit stays open before a half-open
+        probe is admitted (the breaker's ``open_for``).
+    breaker_failures:
+        Consecutive failures that open an upstream's circuit.  The default of
+        1 reproduces the old any-failure-cools-down behaviour; raise it so a
+        single flaky connect no longer blackholes a healthy replica.
     retry_deadline:
         Total per-request retry budget across preference sweeps; the router
         answers 503 only after the whole fleet stayed unreachable this long.
+        A client deadline tighter than this caps the budget per request.
     retry_wait:
-        Pause between full sweeps of the preference list.
+        Base pause between full sweeps of the preference list; successive
+        sweeps back off exponentially (doubling, capped at
+        ``retry_wait_cap``) with full jitter so concurrent retriers spread
+        out instead of sweeping in lockstep.
+    retry_wait_cap:
+        Upper bound on the between-sweep backoff.
+    backoff_seed:
+        Seed for the jitter RNG (deterministic retries in tests).
+    shed_watermark:
+        Fleet-wide mean queue depth (per-replica EWMA averaged over live
+        replicas) past which new solves are shed at the front door with 503
+        and an honest ``Retry-After``.  ``None`` disables front-door
+        shedding.
+    depth_ewma_alpha:
+        Smoothing factor of the per-replica queue-depth EWMA fed by the
+        ``X-Repro-Queue-Depth`` response header.
     tracing, trace_capacity, trace_sink:
         When ``tracing`` is on (the default) the router mints a trace id per
         ``/solve``, records decode + per-attempt forward spans into a bounded
@@ -137,8 +172,13 @@ class RouterConfig:
     connect_timeout: float = 2.0
     upstream_idle_max: int = 16
     down_cooldown: float = 0.5
+    breaker_failures: int = 1
     retry_deadline: float = 15.0
     retry_wait: float = 0.05
+    retry_wait_cap: float = 1.0
+    backoff_seed: Optional[int] = None
+    shed_watermark: Optional[float] = None
+    depth_ewma_alpha: float = 0.3
     tracing: bool = True
     trace_capacity: int = 256
     trace_sink: Optional[str] = None
@@ -146,10 +186,17 @@ class RouterConfig:
     def __post_init__(self) -> None:
         if self.retry_deadline <= 0 or self.retry_wait < 0:
             raise ValueError("retry_deadline must be positive, retry_wait >= 0")
+        if self.breaker_failures <= 0:
+            raise ValueError("breaker_failures must be positive")
+        if not 0.0 < self.depth_ewma_alpha <= 1.0:
+            raise ValueError("depth_ewma_alpha must be in (0, 1]")
+        if self.shed_watermark is not None and self.shed_watermark <= 0:
+            raise ValueError("shed_watermark must be positive (or None)")
 
 
 class UpstreamPool:
-    """Keep-alive connection pool (and down marker) for one replica."""
+    """Keep-alive connection pool, circuit breaker and load estimate for one
+    replica."""
 
     def __init__(self, host: str, port: int, config: RouterConfig) -> None:
         self.host = host
@@ -157,21 +204,46 @@ class UpstreamPool:
         self.node = f"{host}:{port}"
         self.config = config
         self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
-        self._down_until = 0.0
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_failures,
+            open_for=config.down_cooldown,
+        )
         self.routed = 0
         self.failures = 0
+        #: EWMA of the replica's self-reported micro-batcher queue depth
+        #: (``X-Repro-Queue-Depth`` on every response); ``None`` until the
+        #: replica has answered once.
+        self.depth_ewma: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
     def down(self) -> bool:
-        return time.monotonic() < self._down_until
+        """Is the circuit open right now?  (Non-mutating: reporting only —
+        the routing sweep uses :meth:`CircuitBreaker.allow`, which also
+        admits the single half-open probe.)"""
+        return self.breaker.state == "open"
 
     def mark_down(self) -> None:
         self.failures += 1
-        self._down_until = time.monotonic() + self.config.down_cooldown
+        self.breaker.record_failure()
 
     def mark_up(self) -> None:
-        self._down_until = 0.0
+        self.breaker.record_success()
+
+    def observe_depth(self, headers: Dict[str, str]) -> None:
+        """Fold a response's queue-depth report into the load EWMA."""
+        raw = headers.get(QUEUE_DEPTH_HEADER.lower())
+        if raw is None:
+            return
+        try:
+            depth = float(raw)
+        except ValueError:
+            return
+        alpha = self.config.depth_ewma_alpha
+        if self.depth_ewma is None:
+            self.depth_ewma = depth
+        else:
+            self.depth_ewma = alpha * depth + (1.0 - alpha) * self.depth_ewma
 
     # ------------------------------------------------------------------
     async def request(
@@ -180,9 +252,10 @@ class UpstreamPool:
         path: str,
         body: bytes = b"",
         headers: Optional[Dict[str, str]] = None,
-    ) -> Tuple[int, bytes]:
+    ) -> Tuple[int, Dict[str, str], bytes]:
         """One round trip on a pooled connection; :class:`UpstreamError` on
-        any transport failure (the connection is discarded, never reused)."""
+        any transport failure (the connection is discarded, never reused).
+        Returns ``(status, lower-cased response headers, body)``."""
         reader, writer = await self._checkout()
         try:
             lines = [
@@ -208,7 +281,8 @@ class UpstreamPool:
         else:
             self._discard(writer)
         self.mark_up()
-        return status, response_body
+        self.observe_depth(response_headers)
+        return status, response_headers, response_body
 
     async def _checkout(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
         while self._idle:
@@ -272,6 +346,8 @@ class RouterMetrics:
     failovers: int = 0  # requests NOT answered by their ring owner
     unavailable: int = 0  # 503s after the retry budget ran out
     rejected_draining: int = 0
+    shed_overload: int = 0  # 503s: fleet-wide queue depth over the watermark
+    deadline_expired: int = 0  # 504s answered at the router (budget ran out)
 
     def __post_init__(self) -> None:
         self.latency = LatencyHistogram()
@@ -285,6 +361,8 @@ class RouterMetrics:
             "failovers": self.failovers,
             "unavailable": self.unavailable,
             "rejected_draining": self.rejected_draining,
+            "shed_overload": self.shed_overload,
+            "deadline_expired": self.deadline_expired,
         }
 
 
@@ -305,6 +383,7 @@ class FleetRouter:
             self.pools[pool.node] = pool
         self.ring = HashRing(list(self.pools), vnodes=self.config.vnodes)
         self.metrics = RouterMetrics()
+        self._jitter = random.Random(self.config.backoff_seed)
         self.recorder: Optional[TraceRecorder] = (
             TraceRecorder(
                 capacity=self.config.trace_capacity,
@@ -440,17 +519,49 @@ class FleetRouter:
         self, request: HttpRequest, trace: Optional[Trace], root: Optional[Span]
     ):
         self.metrics.received += 1
+        arrival = time.monotonic()
         if self._draining:
             self.metrics.rejected_draining += 1
             return 503, {"error": "router is draining"}, {"Retry-After": "1"}
+
+        # per-request budget: header first (cheap, pre-decode), body second
+        try:
+            budget = parse_deadline(request.header(DEADLINE_HEADER) or None)
+        except ProtocolError as exc:
+            self.metrics.bad_requests += 1
+            return 400, {"error": str(exc)}, None
+        if budget is not None and budget <= 0:
+            return self._expired(trace, root, budget)
+
+        # replica-aware front-door shed: when the fleet-wide queue depth
+        # (mean of the per-replica EWMAs) crosses the watermark, refuse here
+        # with an honest Retry-After instead of queueing the request into a
+        # backlog it would time out inside anyway
+        shed_after = self._overload_retry_after()
+        if shed_after is not None:
+            self.metrics.shed_overload += 1
+            if trace is not None:
+                now = time.perf_counter()
+                trace.add_span(
+                    "router.shed", now, now, parent=root,
+                    reason="overload", retry_after=shed_after,
+                )
+            return (
+                503,
+                {"error": "shed", "reason": "fleet_overloaded"},
+                {"Retry-After": str(shed_after)},
+            )
+
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
         try:
             # decode off the loop: the fingerprint needs the canonical job
             # content, and device-grid rebuilds are CPU-bound
-            job = await loop.run_in_executor(
-                None, lambda: job_from_dict(request.json())
-            )
+            def _decode():
+                payload = request.json()
+                return job_from_dict(payload), deadline_from_payload(payload)
+
+            job, body_budget = await loop.run_in_executor(None, _decode)
         except (HttpError, ProtocolError) as exc:
             self.metrics.bad_requests += 1
             if trace is not None:
@@ -459,10 +570,15 @@ class FleetRouter:
                     parent=root, error=str(exc),
                 )
             return 400, {"error": str(exc)}, None
+        if budget is None and body_budget is not None:
+            budget = body_budget
+        deadline_at = arrival + budget if budget is not None else None
         if trace is not None:
             trace.add_span("router.decode", started, time.perf_counter(), parent=root)
             trace.metadata["fingerprint"] = job.fingerprint
             trace.metadata["job"] = job.name
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            return self._expired(trace, root, budget)
 
         forward_headers: Dict[str, str] = {}
         client_id = request.header("x-client-id")
@@ -476,19 +592,31 @@ class FleetRouter:
             )
 
         preference = list(self.ring.preference(job.fingerprint))
-        deadline = time.monotonic() + self.config.retry_deadline
+        # the retry budget is derived from the client's deadline when one is
+        # given: a 2 s request must not be swept for the full retry_deadline
+        retry_budget = self.config.retry_deadline
+        if budget is not None:
+            retry_budget = min(retry_budget, budget)
+        deadline = arrival + retry_budget
         attempt = 0
+        sweep = 0
         while True:
             for rank, node in enumerate(preference):
                 pool = self.pools[node]
-                if pool.down and time.monotonic() < deadline:
-                    continue  # skip cooled-down upstreams while others remain
+                if not pool.breaker.allow() and time.monotonic() < deadline:
+                    continue  # circuit open: skip while other replicas remain
                 attempt += 1
                 if attempt > 1:
                     self.metrics.retries += 1
+                if deadline_at is not None:
+                    remaining = deadline_at - time.monotonic()
+                    if remaining <= 0:
+                        return self._expired(trace, root, budget)
+                    # re-stamp the header so each hop sees an honest budget
+                    forward_headers[DEADLINE_HEADER] = f"{remaining:.6f}"
                 forward_started = time.perf_counter()
                 try:
-                    status, body = await pool.request(
+                    status, _resp_headers, body = await pool.request(
                         "POST", "/solve", request.body, forward_headers
                     )
                 except UpstreamError as exc:
@@ -511,6 +639,10 @@ class FleetRouter:
                     # solve is idempotent and the cache absorbs duplicates
                     pool.mark_down()
                     continue
+                if status == 504:
+                    # the replica reports the budget expired downstream: final
+                    # for this request, never worth a retry
+                    self.metrics.deadline_expired += 1
                 pool.routed += 1
                 self.metrics.routed += 1
                 if rank > 0:
@@ -519,18 +651,73 @@ class FleetRouter:
                 return status, _RawJson(body), None
             if time.monotonic() >= deadline:
                 break
-            # full sweep failed (or everything was cooling down): give the
-            # supervisor a beat to restart a replica, then sweep again
-            await asyncio.sleep(self.config.retry_wait)
+            # full sweep failed (or every circuit was open): back off with
+            # full jitter — exponential so a dead fleet is not hammered, and
+            # jittered so concurrent retriers do not sweep in lockstep
+            ceiling = min(self.config.retry_wait_cap, self.config.retry_wait * (2 ** sweep))
+            delay = self._jitter.uniform(0.0, ceiling)
+            sweep += 1
+            delay = min(delay, max(0.0, deadline - time.monotonic()))
+            if delay > 0:
+                await asyncio.sleep(delay)
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            return self._expired(trace, root, budget)
         self.metrics.unavailable += 1
         return 503, {"error": "no replica reachable"}, {"Retry-After": "1"}
+
+    def _expired(self, trace: Optional[Trace], root: Optional[Span], budget):
+        """Answer 504 at the router: the client's budget is already gone."""
+        self.metrics.deadline_expired += 1
+        if trace is not None:
+            now = time.perf_counter()
+            trace.add_span(
+                "deadline.expired", now, now, parent=root, budget_s=budget,
+            )
+        return (
+            504,
+            {"error": "deadline expired", "reason": "deadline_expired"},
+            {"Retry-After": "1"},
+        )
+
+    def _overload_retry_after(self) -> Optional[int]:
+        """Seconds to advertise in ``Retry-After`` when shedding for overload,
+        or ``None`` while the fleet is under its watermark (or unmeasured)."""
+        watermark = self.config.shed_watermark
+        if watermark is None:
+            return None
+        depths = [
+            pool.depth_ewma for pool in self.pools.values()
+            if pool.depth_ewma is not None and not pool.down
+        ]
+        if not depths:
+            return None
+        mean_depth = sum(depths) / len(depths)
+        if mean_depth < watermark:
+            return None
+        # honest hint: the backlog's expected drain time at the observed mean
+        # per-request service latency, bounded to something a client will obey
+        mean_latency = self.metrics.latency.mean
+        estimate = mean_depth * max(mean_latency, 0.05)
+        return max(1, min(30, round(estimate)))
 
     # ------------------------------------------------------------------
     # health and the fleet-wide metrics roll-up
     # ------------------------------------------------------------------
+    def breakers_open(self) -> int:
+        """How many upstream circuits are open right now."""
+        return sum(1 for pool in self.pools.values() if pool.down)
+
     def _healthz(self) -> Dict[str, object]:
         replicas = [
-            {"node": pool.node, "up": not pool.down, "routed": pool.routed}
+            {
+                "node": pool.node,
+                "up": not pool.down,
+                "breaker": pool.breaker.state,
+                "queue_depth_ewma": (
+                    round(pool.depth_ewma, 3) if pool.depth_ewma is not None else None
+                ),
+                "routed": pool.routed,
+            }
             for pool in self.pools.values()
         ]
         status = "draining" if self._draining else (
@@ -581,7 +768,7 @@ class FleetRouter:
 
     async def _fetch_replica_metrics(self, pool: UpstreamPool) -> Optional[Dict]:
         try:
-            status, body = await pool.request("GET", "/metrics?format=json")
+            status, _headers, body = await pool.request("GET", "/metrics?format=json")
         except UpstreamError:
             pool.mark_down()
             return None
@@ -615,6 +802,12 @@ class FleetRouter:
                     "reporting": snapshot is not None,
                     "routed": pool.routed,
                     "failures": pool.failures,
+                    "breaker": pool.breaker.state,
+                    "queue_depth_ewma": (
+                        round(pool.depth_ewma, 3)
+                        if pool.depth_ewma is not None
+                        else None
+                    ),
                 }
             )
             if snapshot is None:
@@ -655,7 +848,11 @@ class FleetRouter:
             if name != "batch_size"
         }
         document: Dict[str, object] = {
-            "router": {**self.metrics.as_dict(), "latency": self.metrics.latency.summary()},
+            "router": {
+                **self.metrics.as_dict(),
+                "breakers_open": self.breakers_open(),
+                "latency": self.metrics.latency.summary(),
+            },
             "counters": counters,
             "latency": latency,
             "cache": cache,

@@ -159,6 +159,10 @@ def render_dashboard(
 
     shed_rate = float(counters.get("shed_rate", 0.0) or 0.0)
     hit_rate = float(counters.get("hit_rate", 0.0) or 0.0)
+    expired = int(counters.get("deadline_expired", 0) or 0)
+    degraded = int(counters.get("degraded", 0) or 0)
+    router_block: Mapping = metrics.get("router", {}) or {}
+    breakers_open = int(router_block.get("breakers_open", 0) or 0)
     status = str(health.get("status", "ok"))
     tone = "ok" if status == "ok" else ("warn" if status == "draining" else "bad")
 
@@ -177,6 +181,21 @@ def render_dashboard(
             tone="bad" if shed_rate > 0.05 else "",
         )
         + _kpi("queue depth", _fmt(counters.get("queue_depth", 0)))
+        + _kpi(
+            "deadline expired",
+            _fmt(expired),
+            tone="warn" if expired else "",
+        )
+        + _kpi("degraded", _fmt(degraded), tone="warn" if degraded else "")
+        + (
+            _kpi(
+                "breakers open",
+                _fmt(breakers_open),
+                tone="bad" if breakers_open else "ok",
+            )
+            if router_block
+            else ""
+        )
         + "</div></section>"
     )
 
@@ -227,10 +246,17 @@ def render_dashboard(
         rows = []
         for replica in replicas:
             up = replica.get("reporting", replica.get("up", False))
+            breaker = str(replica.get("breaker", "closed"))
+            breaker_tone = "ok" if breaker == "closed" else (
+                "warn" if breaker == "half-open" else "bad"
+            )
+            depth = replica.get("queue_depth_ewma")
             rows.append(
                 "<tr>"
                 f"<td><code>{html.escape(str(replica.get('node', '?')))}</code></td>"
                 f"<td class='{'ok' if up else 'bad'}'>{'up' if up else 'down'}</td>"
+                f"<td class='{breaker_tone}'>{html.escape(breaker)}</td>"
+                f"<td class='num'>{_fmt(depth) if depth is not None else '–'}</td>"
                 f"<td class='num'>{_fmt(replica.get('routed', 0))}</td>"
                 f"<td class='num'>{_fmt(replica.get('failures', 0))}</td>"
                 "</tr>"
@@ -242,11 +268,15 @@ def render_dashboard(
                 ("retries", _fmt(router.get("retries", 0))),
                 ("failovers", _fmt(router.get("failovers", 0))),
                 ("unavailable (503)", _fmt(router.get("unavailable", 0))),
+                ("shed at front door", _fmt(router.get("shed_overload", 0))),
+                ("deadline expired", _fmt(router.get("deadline_expired", 0))),
+                ("breakers open", _fmt(router.get("breakers_open", 0))),
             ]
         ) if router else ""
         sections.append(
             '<section id="panel-fleet"><h2>fleet</h2>'
-            "<table><tr><th>replica</th><th>health</th>"
+            "<table><tr><th>replica</th><th>health</th><th>breaker</th>"
+            "<th class='num'>depth</th>"
             "<th class='num'>routed</th><th class='num'>failures</th></tr>"
             + "".join(rows)
             + "</table>"

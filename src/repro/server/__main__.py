@@ -31,6 +31,9 @@ def build_config(args: argparse.Namespace) -> GatewayConfig:
         cache_dir=args.cache_dir,
         cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None,
         trust_client_id=args.trust_client_id,
+        brownout_watermark=(
+            args.brownout_watermark if args.brownout_watermark > 0 else None
+        ),
         tracing=not args.no_trace,
         trace_capacity=args.trace_capacity,
         trace_sink=args.trace_sink,
@@ -105,6 +108,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--cache-capacity", type=int, default=1024,
         help="in-memory LRU entries (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--brownout-watermark", type=int, default=0,
+        help="queue depth past which solves brown out to heuristic-only "
+        "degraded answers (0 = disabled)",
     )
     parser.add_argument(
         "--no-trace", action="store_true",

@@ -47,10 +47,16 @@ class TokenBucket:
 
 @dataclasses.dataclass(frozen=True)
 class AdmissionDecision:
-    """Outcome of one admission check."""
+    """Outcome of one admission check.
+
+    ``retry_after`` is the honest backoff hint a refusal carries into the
+    response's ``Retry-After`` header: for a rate refusal it is the time until
+    the client's bucket refills a token, rounded up to a whole second.
+    """
 
     admitted: bool
     reason: str = ""
+    retry_after: float = 1.0
 
     ADMITTED = None  # populated below
 
@@ -115,7 +121,10 @@ class AdmissionController:
             self._buckets[client] = bucket
         if bucket.try_acquire(now):
             return AdmissionDecision.ADMITTED
-        return AdmissionDecision(admitted=False, reason="rate_limited")
+        wait = max(0.0, (1.0 - bucket.tokens) / bucket.rate)
+        return AdmissionDecision(
+            admitted=False, reason="rate_limited", retry_after=max(1.0, wait)
+        )
 
     def check_queue(self, queue_depth: int) -> AdmissionDecision:
         """The backpressure gate: bounded micro-batcher queue."""

@@ -27,7 +27,7 @@ from repro.obs.trace import Span, Trace
 from repro.service.jobs import SolveJob
 from repro.service.results import JobResult
 
-__all__ = ["BatcherDraining", "MicroBatcher"]
+__all__ = ["BatcherDraining", "DeadlineExpired", "MicroBatcher"]
 
 #: Trace context a submission may carry through the batch window: the request
 #: trace plus the parent span new batcher spans hang under.
@@ -37,8 +37,21 @@ TraceCtx = Tuple[Trace, Optional[Span]]
 class BatcherDraining(RuntimeError):
     """Submission refused because the batcher is shutting down (retryable)."""
 
-#: Signature of the downstream solver: unique jobs in, results by fingerprint.
-SolveBatch = Callable[[List[SolveJob]], Awaitable[Dict[str, JobResult]]]
+
+class DeadlineExpired(RuntimeError):
+    """The waiter's budget ran out while its job sat in the batch window.
+
+    Raised out of :meth:`MicroBatcher.submit` instead of solving: a client
+    that already gave up must not have compute spent on its behalf.  The
+    gateway maps this to a 504 with ``Retry-After``.
+    """
+
+#: Signature of the downstream solver: unique jobs in, results by fingerprint,
+#: plus the per-fingerprint remaining-budget map (seconds; absent fingerprints
+#: are unbudgeted).
+SolveBatch = Callable[
+    [List[SolveJob], Dict[str, float]], Awaitable[Dict[str, JobResult]]
+]
 
 
 class MicroBatcher:
@@ -64,7 +77,10 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait = max_wait
         self._on_batch = on_batch
-        self._pending: List[Tuple[SolveJob, asyncio.Future, Optional[TraceCtx], float]] = []
+        # (job, waiter, trace ctx, submitted perf_counter, monotonic deadline)
+        self._pending: List[
+            Tuple[SolveJob, asyncio.Future, Optional[TraceCtx], float, Optional[float]]
+        ] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._tasks: Set[asyncio.Task] = set()
         self._inflight_jobs = 0
@@ -76,19 +92,30 @@ class MicroBatcher:
         """Jobs accepted but not yet answered (pending window + in flight)."""
         return len(self._pending) + self._inflight_jobs
 
-    async def submit(self, job: SolveJob, trace_ctx: Optional[TraceCtx] = None) -> JobResult:
+    async def submit(
+        self,
+        job: SolveJob,
+        trace_ctx: Optional[TraceCtx] = None,
+        deadline: Optional[float] = None,
+    ) -> JobResult:
         """Enqueue one job and wait for its (possibly shared) result.
 
         ``trace_ctx`` (the request trace and the span batcher work should
         nest under) rides alongside the job; when present, the time the job
         spent coalescing in the window is recorded as a ``batch.assembly``
         span annotated with the batch shape it ended up in.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: a waiter
+        whose deadline has passed by flush time is dropped from the batch with
+        :class:`DeadlineExpired` instead of being solved, and the minimum
+        remaining budget across a fingerprint's surviving waiters is handed to
+        the solver so nobody blocks past their budget.
         """
         if self._closed:
             raise BatcherDraining("batcher is draining; no new submissions")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((job, future, trace_ctx, time.perf_counter()))
+        self._pending.append((job, future, trace_ctx, time.perf_counter(), deadline))
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._timer is None:
@@ -113,15 +140,44 @@ class MicroBatcher:
         task.add_done_callback(self._tasks.discard)
 
     async def _run_batch(
-        self, batch: List[Tuple[SolveJob, asyncio.Future, Optional[TraceCtx], float]]
+        self,
+        batch: List[
+            Tuple[SolveJob, asyncio.Future, Optional[TraceCtx], float, Optional[float]]
+        ],
     ) -> None:
+        # drop waiters whose budget ran out in the window *before* assembling
+        # the batch: an expired entry must never reach a solver
+        now = time.monotonic()
+        live: List[
+            Tuple[SolveJob, asyncio.Future, Optional[TraceCtx], float, Optional[float]]
+        ] = []
+        for entry in batch:
+            job, future, _ctx, _submitted, deadline = entry
+            if deadline is not None and now >= deadline:
+                if not future.done():
+                    future.set_exception(
+                        DeadlineExpired(
+                            f"deadline passed while {job.short_id} waited in the batch window"
+                        )
+                    )
+                continue
+            live.append(entry)
+        if not live:
+            self._inflight_jobs -= len(batch)
+            return
         unique: Dict[str, SolveJob] = {}
-        for job, _future, _ctx, _submitted in batch:
+        budgets: Dict[str, float] = {}
+        for job, _future, _ctx, _submitted, deadline in live:
             unique.setdefault(job.fingerprint, job)
+            if deadline is not None:
+                remaining = deadline - now
+                budgets[job.fingerprint] = min(
+                    budgets.get(job.fingerprint, remaining), remaining
+                )
         if self._on_batch is not None:
-            self._on_batch(len(batch), len(unique))
+            self._on_batch(len(live), len(unique))
         flushed = time.perf_counter()
-        for _job, _future, ctx, submitted in batch:
+        for _job, _future, ctx, submitted, _deadline in live:
             if ctx is None:
                 continue
             trace, parent = ctx
@@ -130,20 +186,20 @@ class MicroBatcher:
                 submitted,
                 flushed,
                 parent=parent,
-                batch_size=len(batch),
+                batch_size=len(live),
                 unique=len(unique),
             )
         try:
-            results = await self._solve_batch(list(unique.values()))
+            results = await self._solve_batch(list(unique.values()), budgets)
         except Exception as exc:  # noqa: BLE001 — fail the waiters, not the loop
-            for _job, future, _ctx, _submitted in batch:
+            for _job, future, _ctx, _submitted, _deadline in live:
                 if not future.done():
                     future.set_exception(exc)
             return
         finally:
             self._inflight_jobs -= len(batch)
         seen_first: Set[str] = set()
-        for job, future, _ctx, _submitted in batch:
+        for job, future, _ctx, _submitted, _deadline in live:
             if future.done():
                 continue
             result = results.get(job.fingerprint)

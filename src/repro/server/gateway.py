@@ -47,7 +47,7 @@ from repro.obs.trace import (
     summarize_trace_doc,
 )
 from repro.server.admission import AdmissionController
-from repro.server.batcher import BatcherDraining, MicroBatcher
+from repro.server.batcher import BatcherDraining, DeadlineExpired, MicroBatcher
 from repro.server.http import (
     HttpError,
     HttpRequest,
@@ -56,7 +56,14 @@ from repro.server.http import (
     write_response,
 )
 from repro.server.metrics import GatewayMetrics
-from repro.server.protocol import ProtocolError, job_from_dict
+from repro.server.protocol import (
+    DEADLINE_HEADER,
+    QUEUE_DEPTH_HEADER,
+    ProtocolError,
+    deadline_from_payload,
+    job_from_dict,
+    parse_deadline,
+)
 from repro.server.workers import WorkerPool
 from repro.service.cache import CACHE_SCHEMA_VERSION, SolveCache
 from repro.service.results import JobResult
@@ -97,6 +104,11 @@ class GatewayConfig:
         already solving its fingerprint polls the shared cache every
         ``flight_poll`` seconds for up to ``max(flight_timeout, 2 x the job's
         time_limit)`` seconds before taking the solve over.
+    brownout_watermark:
+        Queue depth at which the gateway enters brown-out: fresh solves are
+        served heuristic-only (annealing, no MILP) and flagged
+        ``degraded: true`` until the queue falls back under the watermark.
+        ``None`` (default) disables degraded serving.
     trust_client_id:
         Key rate-limit buckets on the ``X-Client-Id`` header instead of the
         peer address.  Off by default: the header is client-controlled, so
@@ -129,6 +141,7 @@ class GatewayConfig:
     cache_capacity: Optional[int] = 1024
     flight_timeout: float = 60.0
     flight_poll: float = 0.02
+    brownout_watermark: Optional[int] = None
     trust_client_id: bool = False
     tracing: bool = True
     trace_capacity: int = 256
@@ -164,6 +177,7 @@ class SolveGateway:
             executor=self.config.executor,
             solver=self.config.solver,
             portfolio_deadline=self.config.portfolio_deadline,
+            brownout=self.brownout_active,
         )
         self.batcher = MicroBatcher(
             self.workers.solve_batch,
@@ -215,6 +229,11 @@ class SolveGateway:
     @property
     def queue_depth(self) -> int:
         return self.batcher.queue_depth
+
+    def brownout_active(self) -> bool:
+        """Is the overload watermark crossed (degraded serving engaged)?"""
+        watermark = self.config.brownout_watermark
+        return watermark is not None and self.batcher.queue_depth >= watermark
 
     # ------------------------------------------------------------------
     # connection handling
@@ -312,8 +331,11 @@ class SolveGateway:
             status, payload, headers = await self._solve_inner(
                 request, client, trace, root
             )
+            # every /solve response reports this replica's queue depth so the
+            # fleet router can maintain its per-replica load EWMA
+            headers = dict(headers or {})
+            headers.setdefault(QUEUE_DEPTH_HEADER, str(self.batcher.queue_depth))
             if trace is not None:
-                headers = dict(headers or {})
                 headers.setdefault(TRACE_HEADER, trace.trace_id)
             return status, payload, headers
         finally:
@@ -334,9 +356,21 @@ class SolveGateway:
         root: Optional[Span],
     ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
         self.metrics.received += 1
+        arrival = time.monotonic()
         if self._draining:
             self.metrics.rejected_draining += 1
             return 503, {"error": "gateway is draining"}, {"Retry-After": "1"}
+
+        # the header form of the budget is checked *before* any decode work:
+        # an already-expired request must cost nothing downstream of here
+        try:
+            budget = parse_deadline(request.header(DEADLINE_HEADER) or None)
+        except ProtocolError as exc:
+            self.metrics.bad_requests += 1
+            return 400, {"error": str(exc)}, None
+        deadline_at = arrival + budget if budget is not None else None
+        if deadline_at is not None and budget is not None and budget <= 0:
+            return self._expired(trace, root, arrival, budget, where="admission")
 
         rate_started = time.perf_counter()
         decision = self.admission.check_rate(client)
@@ -350,7 +384,12 @@ class SolveGateway:
             )
         if not decision.admitted:
             self.metrics.shed_rate_limited += 1
-            return 429, {"error": "shed", "reason": decision.reason}, {"Retry-After": "1"}
+            retry_after = str(max(1, round(decision.retry_after)))
+            return (
+                429,
+                {"error": "shed", "reason": decision.reason},
+                {"Retry-After": retry_after},
+            )
 
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
@@ -358,9 +397,11 @@ class SolveGateway:
             # decode off the loop: JSON parse + device-grid rebuild are CPU
             # work proportional to the (up to 32 MB) body, and one slow
             # request must not stall every other connection's responses
-            job = await loop.run_in_executor(
-                None, lambda: job_from_dict(request.json())
-            )
+            def _decode():
+                payload = request.json()
+                return job_from_dict(payload), deadline_from_payload(payload)
+
+            job, body_budget = await loop.run_in_executor(None, _decode)
         except (HttpError, ProtocolError) as exc:
             self.metrics.bad_requests += 1
             if trace is not None:
@@ -369,10 +410,17 @@ class SolveGateway:
                     parent=root, error=str(exc),
                 )
             return 400, {"error": str(exc)}, None
+        if deadline_at is None and body_budget is not None:
+            # the in-band form (deadline_s); the header, re-stamped hop by
+            # hop with the remaining budget, wins when both are present
+            budget = body_budget
+            deadline_at = arrival + body_budget
         if trace is not None:
             trace.add_span("gateway.decode", started, time.perf_counter(), parent=root)
             trace.metadata["fingerprint"] = job.fingerprint
             trace.metadata["job"] = job.name
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            return self._expired(trace, root, arrival, budget, where="decode")
 
         lookup_started = time.perf_counter()
         if self.cache.directory is None:
@@ -402,7 +450,7 @@ class SolveGateway:
             )
             if not acquired:
                 flight_started = time.perf_counter()
-                result = await self._await_flight(job)
+                result = await self._await_flight(job, deadline_at)
                 if trace is not None:
                     trace.add_span(
                         "flight.wait", flight_started, time.perf_counter(),
@@ -412,11 +460,18 @@ class SolveGateway:
                     self.metrics.flight_waits += 1
                     self.metrics.observe_hit(time.perf_counter() - started)
                     return 200, self._result_payload(job, result, cached=True), None
-                # the holder died or the wait timed out: take the solve over
-                # (best-effort re-claim — losing the takeover race to another
-                # waiter means one duplicate solve, which the cache absorbs;
-                # liveness beats perfect deduplication)
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    return self._expired(trace, root, arrival, budget, where="flight")
+                # the holder died, wedged, or the wait timed out: break its
+                # lock (a *live* SIGSTOPped holder passes the pid probe
+                # forever, so stale reclaim alone can't free it) and take the
+                # solve over.  Losing the takeover race to another waiter
+                # means one duplicate solve, which the cache absorbs —
+                # liveness beats perfect deduplication.
                 self.metrics.flight_takeovers += 1
+                await loop.run_in_executor(
+                    None, self.cache.break_flight, job.fingerprint
+                )
                 acquired = await loop.run_in_executor(
                     None, self.cache.try_acquire_flight, job.fingerprint
                 )
@@ -435,7 +490,12 @@ class SolveGateway:
                     None, self.cache.release_flight, job.fingerprint
                 )
             self.metrics.shed_queue_full += 1
-            return 429, {"error": "shed", "reason": decision.reason}, {"Retry-After": "1"}
+            retry_after = str(max(1, round(decision.retry_after)))
+            return (
+                429,
+                {"error": "shed", "reason": decision.reason},
+                {"Retry-After": retry_after},
+            )
 
         submit_started = time.perf_counter()
         solve_span: Optional[Span] = None
@@ -451,13 +511,17 @@ class SolveGateway:
             )
         try:
             result = await self.batcher.submit(
-                job, trace_ctx=(trace, solve_span) if trace is not None else None
+                job,
+                trace_ctx=(trace, solve_span) if trace is not None else None,
+                deadline=deadline_at,
             )
         except BatcherDraining:
             # the drain flag flipped while this request was decoding: the
             # rejection is retryable, not an internal error
             self.metrics.rejected_draining += 1
             return 503, {"error": "gateway is draining"}, {"Retry-After": "1"}
+        except DeadlineExpired:
+            return self._expired(trace, root, arrival, budget, where="batch")
         except Exception as exc:  # noqa: BLE001 — solver crash must answer 500
             if solve_span is not None:
                 solve_span.annotations["error"] = f"{type(exc).__name__}: {exc}"
@@ -483,21 +547,60 @@ class SolveGateway:
         if result.status == "error":
             self.metrics.observe_solved(elapsed, error=True)
             return 500, self._result_payload(job, result, cached=False), None
+        if result.degraded:
+            self.metrics.degraded += 1
         self.metrics.observe_solved(elapsed)
         return 200, self._result_payload(job, result, cached=result.cached), None
 
-    async def _await_flight(self, job) -> Optional["JobResult"]:
+    def _expired(
+        self,
+        trace: Optional[Trace],
+        root: Optional[Span],
+        arrival: float,
+        budget: Optional[float],
+        where: str,
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        """Answer 504: the client's budget ran out before a result existed.
+
+        Counted separately from sheds and traced as its own ``deadline.expired``
+        span event so chaos runs can tell "client gave up" from "server
+        refused".
+        """
+        self.metrics.deadline_expired += 1
+        if trace is not None:
+            now = time.perf_counter()
+            trace.add_span(
+                "deadline.expired",
+                now,
+                now,
+                parent=root,
+                where=where,
+                budget_s=budget,
+                waited_s=round(time.monotonic() - arrival, 6),
+            )
+        return (
+            504,
+            {"error": "deadline expired", "reason": "deadline_expired", "where": where},
+            {"Retry-After": "1"},
+        )
+
+    async def _await_flight(self, job, deadline_at: Optional[float] = None):
         """Poll for another replica's in-flight solve of ``job`` to land.
 
         Returns the shared cache entry once the holder stores it, or ``None``
-        when the lock disappears/goes stale without a result or the deadline
-        expires — the caller then takes the solve over.  All disk probes run
+        when the lock disappears/goes stale without a result or the wait bound
+        expires — the caller then breaks the lock and takes the solve over.
+        The bound is the flight timeout capped by the request's remaining
+        deadline budget (``deadline_at``, absolute ``time.monotonic()``), so a
+        budgeted waiter never outwaits its own client.  All disk probes run
         off the event loop; waiting costs no solver capacity here (unlike a
         thread-pool wait, any number of requests can park on this loop).
         """
         loop = asyncio.get_running_loop()
         time_limit = getattr(job.options, "time_limit", None) or 0.0
         timeout = max(self.config.flight_timeout, 2.0 * float(time_limit))
+        if deadline_at is not None:
+            timeout = min(timeout, max(0.0, deadline_at - time.monotonic()))
         deadline = loop.time() + timeout
         while True:
             result = await loop.run_in_executor(None, self.cache.probe, job.fingerprint)
@@ -527,6 +630,7 @@ class SolveGateway:
             "trace_schema": TRACE_SCHEMA_VERSION,
             "tracing": self.recorder is not None,
             "queue_depth": self.queue_depth,
+            "brownout": self.brownout_active(),
         }
 
     # ------------------------------------------------------------------
@@ -609,6 +713,7 @@ class SolveGateway:
         return {
             "fingerprint": job.fingerprint,
             "cached": bool(cached),
+            "degraded": bool(result.degraded),
             "result": data,
         }
 

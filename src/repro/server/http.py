@@ -21,6 +21,7 @@ __all__ = [
     "read_request",
     "write_response",
     "parse_query",
+    "parse_response_headers",
     "REASONS",
 ]
 
@@ -51,6 +52,7 @@ REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -210,3 +212,18 @@ def parse_response(raw_head: bytes, body: bytes) -> Tuple[int, object]:
         except (UnicodeDecodeError, json.JSONDecodeError):
             payload = body
     return status, payload
+
+
+def parse_response_headers(raw_head: bytes) -> Dict[str, str]:
+    """Client-side header decoding: lower-cased names, values stripped.
+
+    The chaos invariant checker and the loadgen smoke need to see response
+    headers (``Retry-After``, ``X-Repro-Queue-Depth``) that
+    :func:`parse_response` discards; malformed lines are skipped, never fatal.
+    """
+    headers: Dict[str, str] = {}
+    for line in raw_head.split(b"\r\n")[1:]:
+        name, sep, value = line.decode("latin-1", errors="replace").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return headers

@@ -215,6 +215,8 @@ class GatewayMetrics:
     deduped_jobs: int = 0  # batch slots answered by an in-batch duplicate
     flight_waits: int = 0  # misses served by awaiting another replica's solve
     flight_takeovers: int = 0  # awaited flights that died and were re-solved here
+    deadline_expired: int = 0  # 504s: the client budget ran out before a result
+    degraded: int = 0  # 200s served best-effort (brown-out or clamped deadline)
 
     def __post_init__(self) -> None:
         self.started_monotonic = time.monotonic()
@@ -292,6 +294,8 @@ class GatewayMetrics:
             "mean_batch_size": round(self.mean_batch_size, 3),
             "flight_waits": self.flight_waits,
             "flight_takeovers": self.flight_takeovers,
+            "deadline_expired": self.deadline_expired,
+            "degraded": self.degraded,
         }
 
     def latency_summaries(self) -> Dict[str, Dict[str, float]]:

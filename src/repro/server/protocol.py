@@ -28,6 +28,10 @@ from repro.service.jobs import SolveJob
 
 __all__ = [
     "ProtocolError",
+    "DEADLINE_HEADER",
+    "QUEUE_DEPTH_HEADER",
+    "parse_deadline",
+    "deadline_from_payload",
     "device_from_dict",
     "problem_from_dict",
     "relocation_from_list",
@@ -35,9 +39,49 @@ __all__ = [
     "job_to_dict",
 ]
 
+#: Per-request budget header: remaining wall-clock seconds the client is
+#: willing to wait.  The router re-stamps it with the *remaining* budget on
+#: every downstream forward, so each hop sees an honest number.  The body
+#: field ``deadline_s`` is the equivalent in-band form; both are
+#: fingerprint-neutral (a deadline changes how long we may solve, never what
+#: the canonical answer is).
+DEADLINE_HEADER = "X-Repro-Deadline"
+
+#: Stamped by every gateway on every ``/solve`` response: the replica's
+#: current micro-batcher queue depth.  The router folds it into a per-replica
+#: EWMA and sheds at the front door when the fleet-wide depth crosses its
+#: watermark.
+QUEUE_DEPTH_HEADER = "X-Repro-Queue-Depth"
+
 
 class ProtocolError(ValueError):
     """A request body that cannot be decoded into a valid solve job."""
+
+
+def parse_deadline(value: object) -> Optional[float]:
+    """Decode a deadline budget (header value or ``deadline_s`` body field).
+
+    Returns the budget in seconds, or ``None`` when absent/empty.  A value
+    that is not a finite number raises :class:`ProtocolError` (the request is
+    malformed, not merely impatient); zero and negative budgets are valid —
+    they mean "already expired" and are shed with a 504 before any solving.
+    """
+    if value is None or value == "":
+        return None
+    try:
+        budget = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed deadline {value!r}: not a number") from exc
+    if budget != budget or budget in (float("inf"), float("-inf")):
+        raise ProtocolError(f"malformed deadline {value!r}: must be finite")
+    return budget
+
+
+def deadline_from_payload(payload: object) -> Optional[float]:
+    """The ``deadline_s`` field of a decoded request body, if present."""
+    if isinstance(payload, Mapping):
+        return parse_deadline(payload.get("deadline_s"))
+    return None
 
 
 def _require(data: Mapping, key: str, context: str):

@@ -16,17 +16,22 @@ inline.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.service.cache import SolveCache
-from repro.service.executor import BatchSolver
+from repro.service.executor import BatchSolver, execute_job
 from repro.service.jobs import SolveJob
 from repro.service.results import JobResult
 
-__all__ = ["WorkerPool"]
+__all__ = ["WorkerPool", "MIN_CLAMPED_TIME_LIMIT"]
 
 SOLVER_KINDS = ("batch", "portfolio")
+
+#: Floor on a deadline-clamped solver time limit: below this the backend
+#: cannot even build the model, so the clamp would buy nothing but an error.
+MIN_CLAMPED_TIME_LIMIT = 0.05
 
 
 class WorkerPool:
@@ -51,6 +56,11 @@ class WorkerPool:
         costs a full portfolio per job).
     portfolio_deadline:
         Shared wall-clock budget per portfolio race (``solver="portfolio"``).
+    brownout:
+        Optional zero-argument predicate polled once per batch.  While it
+        returns ``True`` the pool serves heuristic-only (annealing) results
+        flagged ``degraded`` instead of running MILP solves — the gateway
+        wires its overload watermark here.
     """
 
     def __init__(
@@ -61,6 +71,7 @@ class WorkerPool:
         executor: str = "thread",
         solver: str = "batch",
         portfolio_deadline: Optional[float] = None,
+        brownout: Optional[Callable[[], bool]] = None,
     ) -> None:
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -72,47 +83,126 @@ class WorkerPool:
         self.executor = executor
         self.solver = solver
         self.portfolio_deadline = portfolio_deadline
+        self.brownout = brownout
         self._threads = ThreadPoolExecutor(
             max_workers=shards, thread_name_prefix="repro-shard"
         )
 
     # ------------------------------------------------------------------
-    async def solve_batch(self, jobs: List[SolveJob]) -> Dict[str, JobResult]:
-        """Solve one (already deduplicated) batch on a shard thread."""
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._threads, self._solve_sync, list(jobs))
+    async def solve_batch(
+        self, jobs: List[SolveJob], budgets: Optional[Dict[str, float]] = None
+    ) -> Dict[str, JobResult]:
+        """Solve one (already deduplicated) batch on a shard thread.
 
-    def _solve_sync(self, jobs: List[SolveJob]) -> Dict[str, JobResult]:
+        ``budgets`` maps fingerprints to the remaining wall-clock seconds of
+        the most impatient waiter; a budget tighter than the job's own
+        ``time_limit`` clamps the solver, and a clamped solve that could not
+        prove optimality comes back ``degraded`` (and is never cached).
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._threads, self._solve_sync, list(jobs), dict(budgets or {})
+        )
+
+    def _solve_sync(
+        self, jobs: List[SolveJob], budgets: Dict[str, float]
+    ) -> Dict[str, JobResult]:
+        if self.brownout is not None and self.brownout():
+            return self._solve_heuristic(jobs)
         if self.solver == "portfolio":
-            return self._solve_portfolio(jobs)
+            return self._solve_portfolio(jobs, budgets)
+        results: Dict[str, JobResult] = {}
+        clamped = [job for job in jobs if self._budget_binds(job, budgets)]
+        for job in clamped:
+            results[job.fingerprint] = self._solve_clamped(job, budgets[job.fingerprint])
+        unclamped = [job for job in jobs if job.fingerprint not in results]
+        if not unclamped:
+            return results
         # single-job batches (the max_batch=1 configuration, or a window that
         # caught one request) run in-process: no point spawning a pool of one
-        executor = "serial" if len(jobs) == 1 else self.executor
+        executor = "serial" if len(unclamped) == 1 else self.executor
         solver = BatchSolver(
             cache=self.cache, max_workers=self.batch_workers, executor=executor
         )
-        results: Dict[str, JobResult] = {}
-        for _index, job, result in solver.iter_results(jobs):
+        for _index, job, result in solver.iter_results(unclamped):
             results[job.fingerprint] = result
         return results
 
-    def _solve_portfolio(self, jobs: List[SolveJob]) -> Dict[str, JobResult]:
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _budget_binds(job: SolveJob, budgets: Dict[str, float]) -> bool:
+        budget = budgets.get(job.fingerprint)
+        if budget is None:
+            return False
+        limit = job.options.time_limit
+        return limit is None or budget < limit
+
+    def _solve_clamped(self, job: SolveJob, budget: float) -> JobResult:
+        """One solve under a client deadline tighter than its own time limit.
+
+        The job is re-solved with ``time_limit`` clamped to the remaining
+        budget.  A clamp changes the job's content fingerprint, so the result
+        is re-keyed to the *request* fingerprint before fan-out; it is marked
+        ``degraded`` (and kept out of the cache) unless the solver proved
+        optimality anyway — in which case the clamp did not bind and the
+        answer is canonical.
+        """
+        hit = self.cache.get(job.fingerprint)
+        if hit is not None:
+            return dataclasses.replace(hit, cached=True)
+        clamp = max(budget, MIN_CLAMPED_TIME_LIMIT)
+        derived = dataclasses.replace(job, options=job.options.replace(time_limit=clamp))
+        result = execute_job(derived)
+        result = dataclasses.replace(result, fingerprint=job.fingerprint)
+        if result.status == "optimal":
+            self.cache.put(result)
+            return result
+        return dataclasses.replace(result, degraded=True)
+
+    def _solve_heuristic(self, jobs: List[SolveJob]) -> Dict[str, JobResult]:
+        """Brown-out path: annealing only, every fresh result ``degraded``."""
+        from repro.service.portfolio import HEURISTIC_STRATEGIES, run_strategy
+
+        results: Dict[str, JobResult] = {}
+        for job in jobs:
+            hit = self.cache.get(job.fingerprint)
+            if hit is not None:
+                results[job.fingerprint] = dataclasses.replace(hit, cached=True)
+                continue
+            result = run_strategy(
+                HEURISTIC_STRATEGIES[0],
+                job.problem,
+                relocation=job.relocation,
+                options=job.options,
+                weights=job.weights,
+            )
+            results[job.fingerprint] = dataclasses.replace(
+                result, fingerprint=job.fingerprint, degraded=True
+            )
+        return results
+
+    def _solve_portfolio(
+        self, jobs: List[SolveJob], budgets: Dict[str, float]
+    ) -> Dict[str, JobResult]:
         from repro.service.portfolio import run_portfolio
 
         results: Dict[str, JobResult] = {}
         for job in jobs:
             hit = self.cache.get(job.fingerprint)
             if hit is not None:
-                import dataclasses
-
                 results[job.fingerprint] = dataclasses.replace(hit, cached=True)
                 continue
+            deadline = self.portfolio_deadline
+            budget = budgets.get(job.fingerprint)
+            clamped = budget is not None and (deadline is None or budget < deadline)
+            if clamped:
+                deadline = max(budget, MIN_CLAMPED_TIME_LIMIT)
             race = run_portfolio(
                 job.problem,
                 relocation=job.relocation,
                 options=job.options,
                 weights=job.weights,
-                deadline=self.portfolio_deadline,
+                deadline=deadline,
                 policy="first_feasible",
                 executor="thread",
                 max_workers=self.batch_workers,
@@ -126,10 +216,10 @@ class WorkerPool:
                     job, "portfolio produced no outcome"
                 )
             # key the outcome by the *request* fingerprint so waiters find it
-            import dataclasses
-
             result = dataclasses.replace(result, fingerprint=job.fingerprint)
-            if result.status != "error":
+            if clamped and result.status != "optimal":
+                result = dataclasses.replace(result, degraded=True)
+            elif result.status != "error":
                 self.cache.put(result)
             results[job.fingerprint] = result
         return results

@@ -139,6 +139,9 @@ class CacheStats:
     flights: int = 0  # single-flight leases this process acquired
     stale_locks: int = 0  # abandoned locks reclaimed (holder died mid-solve)
     corrupt_locks: int = 0  # undecodable lock files deleted
+    broken_locks: int = 0  # live-holder locks force-broken after an await bound
+    lock_errors: int = 0  # lock dir unusable (full/unwritable): solved locally
+    store_errors: int = 0  # disk writes that failed (entry kept in memory only)
 
     @property
     def lookups(self) -> int:
@@ -161,6 +164,9 @@ class CacheStats:
             "flights": self.flights,
             "stale_locks": self.stale_locks,
             "corrupt_locks": self.corrupt_locks,
+            "broken_locks": self.broken_locks,
+            "lock_errors": self.lock_errors,
+            "store_errors": self.store_errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -303,7 +309,15 @@ class SolveCache:
         """
         if self.directory is None:
             return True
-        self.directory.mkdir(parents=True, exist_ok=True)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # the cache dir itself is unusable (full disk, path hijacked by a
+            # chaos action): nobody can coordinate through it, so claim the
+            # solve locally — liveness beats deduplication
+            with self._lock:
+                self.stats.lock_errors += 1
+            return True
         lock_path = self._lock_path(fingerprint)
         payload = json.dumps(
             {
@@ -320,13 +334,38 @@ class SolveCache:
                     return False
                 continue  # reclaimed (or holder vanished): race for it again
             except OSError:
-                return False  # unwritable directory: fall back to solving
+                # can't create the lock file (full/unwritable lock dir): no
+                # process can win this lock either, so solve locally and count
+                # the degraded coordination instead of failing the request
+                with self._lock:
+                    self.stats.lock_errors += 1
+                return True
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(payload)
             with self._lock:
                 self.stats.flights += 1
             return True
         return False
+
+    def break_flight(self, fingerprint: str) -> None:
+        """Forcibly delete the flight lock even if its holder looks alive.
+
+        The escape hatch behind :meth:`await_flight`'s wall-clock bound: a
+        holder that is alive-but-wedged (e.g. SIGSTOPped mid-solve) passes the
+        ``_pid_alive`` probe forever, so stale reclaim never fires.  A waiter
+        whose wait bound expired breaks the lock, claims the flight itself,
+        and solves — if the wedged holder later wakes up and releases, it
+        unlinks a lock it no longer owns, which is harmless (the release path
+        never validates ownership).
+        """
+        if self.directory is None:
+            return
+        try:
+            self._lock_path(fingerprint).unlink()
+        except OSError:
+            return  # already gone: nothing was broken
+        with self._lock:
+            self.stats.broken_locks += 1
 
     def release_flight(self, fingerprint: str) -> None:
         """Drop this process's flight lock (idempotent, never raises)."""
@@ -486,17 +525,32 @@ class SolveCache:
 
     def _dump(self, result: JobResult) -> None:
         assert self.directory is not None
-        self.directory.mkdir(parents=True, exist_ok=True)
         data = result.as_dict()
         data["cached"] = False
         data["schema_version"] = CACHE_SCHEMA_VERSION
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=f".{result.fingerprint[:12]}.", suffix=".tmp"
-        )
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{result.fingerprint[:12]}.", suffix=".tmp"
+            )
+        except OSError:
+            # full disk / hijacked cache path: the entry stays memory-only and
+            # the failure is a counter, never an unhandled exception on the
+            # request path
+            with self._lock:
+                self.stats.store_errors += 1
+            return
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(data, handle, indent=1)
             os.replace(tmp_name, self._path(result.fingerprint))
+        except OSError:
+            with self._lock:
+                self.stats.store_errors += 1
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
         except BaseException:
             try:
                 os.unlink(tmp_name)

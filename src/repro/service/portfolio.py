@@ -64,6 +64,13 @@ DEFAULT_STRATEGIES: Tuple[Strategy, ...] = (
     Strategy("annealing", kind="annealing"),
 )
 
+#: The brown-out portfolio: the MILP arms dropped, leaving only the cheap
+#: heuristic members.  An overloaded gateway races this instead of
+#: :data:`DEFAULT_STRATEGIES` and flags the results ``degraded``.
+HEURISTIC_STRATEGIES: Tuple[Strategy, ...] = tuple(
+    strategy for strategy in DEFAULT_STRATEGIES if strategy.kind == "annealing"
+)
+
 
 @dataclasses.dataclass
 class PortfolioResult:

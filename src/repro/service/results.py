@@ -40,6 +40,12 @@ class JobResult:
     error: Optional[str] = None
     cached: bool = False
     worker: str = ""
+    #: ``True`` when the result was produced under brown-out or a clamped
+    #: deadline budget and is best-effort rather than the canonical answer
+    #: (heuristic-only, or a solver pass that hit the clamped time limit
+    #: without proving optimality).  Degraded results are served but never
+    #: written to the shared cache.
+    degraded: bool = False
     #: Solver stage timings (``{"name": ..., "seconds": ...}`` dicts) captured
     #: by the tracing hooks during the solve; ``None`` for cached entries
     #: written before tracing existed (``from_dict`` tolerates both).

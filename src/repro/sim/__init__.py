@@ -39,6 +39,7 @@ from repro.sim.faults import (
     RandomFaults,
     ScheduledFaults,
     fault_masked_problem,
+    poisson_times,
 )
 from repro.sim.policies import (
     Policy,
@@ -80,6 +81,7 @@ __all__ = [
     "ScheduledFaults",
     "RandomFaults",
     "fault_masked_problem",
+    "poisson_times",
     # policies
     "Policy",
     "PolicyOutcome",

@@ -26,6 +26,26 @@ _FAULT_NAME = re.compile(r"^fault\d+$")
 _MASK_SUFFIX = re.compile(r"\+\d+faults$")
 
 
+def poisson_times(rate: float, horizon: float, seed: int = 0) -> List[float]:
+    """Arrival instants of a Poisson process with ``rate`` events/unit-time.
+
+    The shared primitive behind every stochastic fault schedule — virtual-time
+    fabric faults here, wall-clock chaos events in :mod:`repro.chaos.plan`.
+    Deterministic for a given ``(rate, horizon, seed)``.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    rng = make_rng(seed)
+    times: List[float] = []
+    time = float(rng.exponential(1.0 / rate))
+    while time < horizon:
+        times.append(time)
+        time += float(rng.exponential(1.0 / rate))
+    return times
+
+
 def fault_masked_problem(
     problem: FloorplanProblem, faults: Sequence[Rect]
 ) -> FloorplanProblem:
@@ -130,11 +150,15 @@ class RandomFaults(FaultPlan):
     def events(self, horizon: float) -> List[FaultEvent]:
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
-        rng = make_rng(self.seed)
-        faults: List[FaultEvent] = []
-        time = float(rng.exponential(1.0 / self.rate))
-        while time < horizon:
-            region = self.regions[int(rng.integers(len(self.regions)))]
-            faults.append(FaultEvent(time=time, region=region, detail="random fault"))
-            time += float(rng.exponential(1.0 / self.rate))
-        return faults
+        times = poisson_times(self.rate, horizon, seed=self.seed)
+        # draw regions from an independent stream so hoisting the arrival
+        # times did not have to change their distribution
+        rng = make_rng(self.seed + 1)
+        return [
+            FaultEvent(
+                time=time,
+                region=self.regions[int(rng.integers(len(self.regions)))],
+                detail="random fault",
+            )
+            for time in times
+        ]

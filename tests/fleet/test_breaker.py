@@ -1,0 +1,96 @@
+"""Circuit-breaker state machine with an injected clock."""
+
+import pytest
+
+from repro.fleet.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(threshold=3, open_for=0.5):
+    clock = FakeClock()
+    return CircuitBreaker(
+        failure_threshold=threshold, open_for=open_for, clock=clock
+    ), clock
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_open_for_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(open_for=0.0)
+
+
+class TestTransitions:
+    def test_starts_closed_and_admits(self):
+        breaker, _clock = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_only_past_the_failure_threshold(self):
+        breaker, _clock = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # two flakes do not blackhole
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opened_total == 1
+
+    def test_threshold_one_reproduces_cooldown_semantics(self):
+        breaker, _clock = make_breaker(threshold=1)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_resets_accumulated_failures(self):
+        breaker, _clock = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # the streak restarted
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make_breaker(threshold=1, open_for=0.5)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else keeps waiting
+        assert breaker.state == HALF_OPEN
+
+    def test_successful_probe_closes(self):
+        breaker, clock = make_breaker(threshold=1, open_for=0.5)
+        breaker.record_failure()
+        clock.advance(0.6)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_a_fresh_window(self):
+        breaker, clock = make_breaker(threshold=1, open_for=0.5)
+        breaker.record_failure()
+        clock.advance(0.6)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN  # a fresh window, not half-open
+        assert not breaker.allow()
+        assert breaker.opened_total == 1  # re-opens are not new closed->open edges
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()

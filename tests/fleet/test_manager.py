@@ -133,7 +133,11 @@ class TestSupervision:
 
     def test_crash_loop_backs_off_exponentially(self, tmp_path):
         manager = FleetManager(
-            make_config(tmp_path, replicas=1, backoff_base=0.05, backoff_cap=0.4),
+            # jitter off: this test pins the deterministic exponential ceiling
+            make_config(
+                tmp_path, replicas=1, backoff_base=0.05, backoff_cap=0.4,
+                backoff_jitter=False,
+            ),
             command_factory=crashing_command,
         )
         manager.start(wait_healthy=False)
@@ -159,4 +163,64 @@ class TestSupervision:
             manager.kill_replica(0)
             assert manager.healthz(0, timeout=0.5) is None
         finally:
+            manager.stop()
+
+
+class TestRestartJitter:
+    def test_jittered_delays_are_deterministic_per_seed(self, tmp_path):
+        first = FleetManager(
+            make_config(tmp_path, backoff_seed=42), command_factory=stub_command
+        )
+        second = FleetManager(
+            make_config(tmp_path, backoff_seed=42), command_factory=stub_command
+        )
+        delays = [first._restart_delay(n) for n in range(6)]
+        assert delays == [second._restart_delay(n) for n in range(6)]
+        for failures, delay in enumerate(delays):
+            # full jitter: anywhere in [0, min(cap, base * 2^n)]
+            assert 0.0 <= delay <= min(0.2, 0.05 * 2.0 ** failures)
+
+    def test_different_seeds_decorrelate_restart_schedules(self, tmp_path):
+        # the point of the jitter: two replicas felled by one cause must not
+        # come back in lockstep
+        first = FleetManager(
+            make_config(tmp_path, backoff_seed=1), command_factory=stub_command
+        )
+        second = FleetManager(
+            make_config(tmp_path, backoff_seed=2), command_factory=stub_command
+        )
+        assert [first._restart_delay(4) for _ in range(4)] != [
+            second._restart_delay(4) for _ in range(4)
+        ]
+
+    def test_jitter_disabled_returns_the_exact_ceiling(self, tmp_path):
+        manager = FleetManager(
+            make_config(tmp_path, backoff_jitter=False), command_factory=stub_command
+        )
+        assert manager._restart_delay(0) == pytest.approx(0.05)
+        assert manager._restart_delay(1) == pytest.approx(0.1)
+        assert manager._restart_delay(10) == pytest.approx(0.2)  # capped
+
+
+class TestPauseResume:
+    def test_paused_replica_is_alive_wedged_and_left_alone(self, tmp_path):
+        manager = FleetManager(
+            make_config(tmp_path, replicas=1), command_factory=stub_command
+        )
+        manager.start(wait_healthy=True)
+        try:
+            pid = manager.replicas[0].process.pid
+            restarts_before = manager.total_restarts
+            manager.pause_replica(0)
+            assert manager.replicas[0].alive  # SIGSTOP is not a crash
+            assert manager.healthz(0, timeout=0.3) is None  # but it answers nothing
+            time.sleep(0.2)  # several supervisor poll intervals
+            # the supervisor must not restart a paused-but-alive process
+            assert manager.total_restarts == restarts_before
+            assert manager.replicas[0].process.pid == pid
+            manager.resume_replica(0)
+            manager.wait_healthy(0, timeout=30.0)
+            assert manager.healthz(0)["status"] == "ok"
+        finally:
+            manager.resume_replica(0)  # idempotent: never leave a stopped child
             manager.stop()

@@ -24,7 +24,7 @@ class StubWorkerPool:
         self.cache = cache
         self.solved = 0
 
-    async def solve_batch(self, jobs):
+    async def solve_batch(self, jobs, budgets=None):
         results = {}
         for job in jobs:
             self.solved += 1

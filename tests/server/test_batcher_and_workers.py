@@ -42,7 +42,7 @@ class RecordingSolver:
         self.delay = delay
         self.fail = fail
 
-    async def __call__(self, jobs):
+    async def __call__(self, jobs, budgets=None):
         self.batches.append([job.fingerprint for job in jobs])
         if self.delay:
             await asyncio.sleep(self.delay)

@@ -25,7 +25,7 @@ class StubWorkerPool:
         self.fail = fail
         self.solved = 0
 
-    async def solve_batch(self, jobs):
+    async def solve_batch(self, jobs, budgets=None):
         if self.delay:
             await asyncio.sleep(self.delay)
         results = {}

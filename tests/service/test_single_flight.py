@@ -9,6 +9,7 @@ holder's stale lock is reclaimed, and corrupt locks are swept.
 import json
 import multiprocessing
 import os
+import signal
 import socket
 import subprocess
 import sys
@@ -244,6 +245,87 @@ class TestCrossProcessSingleFlight:
         cache.put(make_result())  # the job is re-solved by the survivor
         cache.release_flight(FP)
         assert cache.probe(FP) is not None
+
+
+class TestLockEdgeCases:
+    """The failure shapes the chaos harness injects, pinned down in isolation."""
+
+    def test_corrupt_lock_bytes_mid_flight_unblock_the_waiter(self, tmp_path):
+        # the lock file is overwritten with garbage while a waiter polls: the
+        # waiter must reclaim-and-return promptly, not sit out its full bound
+        holder = SolveCache(directory=tmp_path)
+        waiter = SolveCache(directory=tmp_path)
+        assert holder.try_acquire_flight(FP)
+        lock = tmp_path / f"{FP}.lock"
+        threading.Timer(0.05, lock.write_text, args=('{"chaos": truncated',)).start()
+        started = time.monotonic()
+        result = waiter.await_flight(FP, timeout=30.0, poll_interval=0.01)
+        assert result is None  # no result landed: the waiter should solve
+        assert time.monotonic() - started < 5.0  # nowhere near the 30 s bound
+        assert waiter.stats.corrupt_locks == 1
+        assert not lock.exists()
+        assert waiter.try_acquire_flight(FP)  # the job is solvable again
+        waiter.release_flight(FP)
+
+    def test_sigstopped_holder_hits_await_bound_then_break_flight(self, tmp_path):
+        # alive-but-wedged: a SIGSTOPped holder passes the pid probe forever,
+        # so only the wall-clock bound ends the wait — then break_flight is
+        # the takeover path
+        ready = multiprocessing.Event()
+        holder = multiprocessing.Process(
+            target=_crash_worker, args=(str(tmp_path), FP, ready)
+        )
+        holder.start()
+        try:
+            assert ready.wait(timeout=30.0)
+            os.kill(holder.pid, signal.SIGSTOP)
+
+            waiter = SolveCache(directory=tmp_path)
+            result = waiter.await_flight(FP, timeout=0.3, poll_interval=0.02)
+            assert result is None  # the bound expired, not stale reclaim
+            assert waiter.stats.stale_locks == 0  # the holder never looked dead
+
+            waiter.break_flight(FP)
+            assert waiter.stats.broken_locks == 1
+            assert not (tmp_path / f"{FP}.lock").exists()
+            assert waiter.try_acquire_flight(FP)  # takeover-and-solve
+            waiter.put(make_result())
+            waiter.release_flight(FP)
+            assert waiter.probe(FP) is not None
+        finally:
+            try:
+                os.kill(holder.pid, signal.SIGCONT)
+            except (OSError, TypeError):
+                pass
+            holder.kill()
+            holder.join(timeout=30.0)
+
+    def test_break_flight_on_a_missing_lock_counts_nothing(self, tmp_path):
+        cache = SolveCache(directory=tmp_path)
+        cache.break_flight(FP)  # nothing held: must not raise or count
+        assert cache.stats.broken_locks == 0
+
+    def test_hijacked_cache_dir_counts_errors_instead_of_raising(self, tmp_path):
+        # the chaos FillCacheDir shape: the cache directory path is suddenly a
+        # plain file, so every mkdir/open underneath it raises OSError.  The
+        # cache must keep answering (memory tier + local solve) and count the
+        # degraded coordination.
+        target = tmp_path / "cache"
+        cache = SolveCache(directory=target)
+        target.write_bytes(b"chaos: cache tier unavailable\n")
+
+        assert cache.try_acquire_flight(FP)  # liveness beats deduplication
+        assert cache.stats.lock_errors == 1
+        cache.put(make_result())
+        assert cache.stats.store_errors == 1
+        assert cache.get(FP) is not None  # the memory tier still answers
+        cache.release_flight(FP)  # must not raise
+
+        # the tier comes back: coordination resumes on the next claim
+        target.unlink()
+        assert cache.try_acquire_flight(FP)
+        assert (target / f"{FP}.lock").exists()
+        cache.release_flight(FP)
 
 
 if __name__ == "__main__":  # pragma: no cover
