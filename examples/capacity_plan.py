@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Capacity-planning walkthrough: how many devices for 50 req/s at p99 < 200 ms?
+
+Derives a device profile from a real floorplanned device (frame counts per
+region set the reconfiguration service time, exactly as in the single-device
+simulator), then asks the planner for the minimum fleet size meeting a
+p99-latency + blocking + throughput SLO, and sweeps offered load for the
+capacity curve a deployment would size its fleet from.
+
+The whole pipeline is seeded and deterministic: the script re-runs the plan
+and checks the JSON report is byte-for-byte identical.
+
+Run with::
+
+    PYTHONPATH=src python examples/capacity_plan.py
+"""
+
+from repro.capacity import (
+    CapacityScenario,
+    CapacitySLO,
+    DeviceProfile,
+    capacity_curve,
+    plan_document,
+    plan_min_devices,
+    render_json,
+    render_markdown,
+)
+from repro.device.catalog import simple_two_type_device
+from repro.floorplan.geometry import Rect
+
+
+def build_scenario() -> CapacityScenario:
+    """50 req/s over a two-region device at a paper-scale frame clock.
+
+    ``seconds_per_frame=1e-3`` puts one device at roughly 7 req/s of serving
+    capacity, so meeting the SLO takes a real fleet and the planner's search
+    has actual work to do.
+    """
+    profile = DeviceProfile.from_floorplan(
+        simple_two_type_device(),
+        {"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 2, 2)},
+        seconds_per_frame=1e-3,
+        name="example-dev",
+    )
+    return CapacityScenario(profile=profile, rate=50.0, horizon=30.0, seed=0)
+
+
+def main() -> None:
+    scenario = build_scenario()
+    slo = CapacitySLO(
+        max_p99_latency_s=0.2, max_blocking=0.01, min_throughput_fraction=0.95
+    )
+
+    outcome = plan_min_devices(scenario, slo, max_devices=64)
+    assert outcome.min_devices is not None, "the SLO must be reachable"
+    curve = capacity_curve(scenario, slo, [0.5, 1.0, 1.5], max_devices=64)
+
+    document = plan_document(scenario, slo, outcome, curve=curve)
+    print(render_markdown(document))
+
+    # minimality: the answer passes, one device fewer does not
+    best = outcome.evaluation_for(outcome.min_devices)
+    assert best is not None and best.ok
+    below = outcome.evaluation_for(outcome.min_devices - 1)
+    if below is not None:
+        assert not below.ok, "min_devices - 1 must fail the SLO"
+
+    # determinism: replanning renders the identical report
+    replay = plan_min_devices(scenario, slo, max_devices=64)
+    replay_curve = capacity_curve(scenario, slo, [0.5, 1.0, 1.5], max_devices=64)
+    identical = render_json(document) == render_json(
+        plan_document(scenario, slo, replay, curve=replay_curve)
+    )
+    print(f"replan byte-for-byte identical: {identical}")
+    assert identical, "seeded capacity plans must be reproducible"
+
+
+if __name__ == "__main__":
+    main()

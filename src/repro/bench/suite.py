@@ -276,6 +276,68 @@ def sim_poisson(profile: BenchProfile) -> Workload:
 
 
 # ----------------------------------------------------------------------
+# capacity: fleet simulation and the minimum-fleet-size planner
+# ----------------------------------------------------------------------
+def _capacity_profile():
+    from repro.capacity import DeviceProfile
+
+    # ~8 req/s of serving capacity per device: large enough that the planner
+    # has real work to do at double-digit offered rates
+    return DeviceProfile(
+        name="bench-dev", frame_counts={"A": 100, "B": 150}, seconds_per_frame=1e-3
+    )
+
+
+@benchmark("capacity.fleet_sim")
+def capacity_fleet_sim(profile: BenchProfile) -> Workload:
+    """Events/sec through a 16-device fleet under shared Poisson load."""
+    from repro.capacity import FleetConfig, FleetSimulation, make_dispatcher
+    from repro.sim import PoissonTraffic
+
+    device = _capacity_profile()
+    horizon = float(profile.scaled(60, 300))
+
+    def run():
+        result = FleetSimulation(
+            profile=device,
+            num_devices=16,
+            traffic=PoissonTraffic(["A", "B"], rate=40.0, seed=0),
+            dispatcher=make_dispatcher("least-loaded"),
+            config=FleetConfig(horizon=horizon),
+        ).run()
+        workload.units = float(result.events_processed)
+        return result
+
+    workload = Workload(run, units=1.0, unit_name="events")
+    return workload
+
+
+@benchmark("capacity.plan_small")
+def capacity_plan_small(profile: BenchProfile) -> Workload:
+    """One full minimum-fleet-size search (doubling + binary search)."""
+    from repro.capacity import CapacityScenario, CapacitySLO, plan_min_devices
+
+    scenario = CapacityScenario(
+        profile=_capacity_profile(),
+        rate=float(profile.scaled(40, 80)),
+        horizon=float(profile.scaled(20, 60)),
+        seed=0,
+    )
+    slo = CapacitySLO(
+        max_p99_latency_s=0.5, max_blocking=0.02, min_throughput_fraction=0.95
+    )
+
+    def run():
+        outcome = plan_min_devices(scenario, slo, max_devices=64)
+        workload.units = float(len(outcome.evaluations))
+        workload.extras["min_devices"] = float(outcome.min_devices or 0)
+        return outcome
+
+    workload = Workload(run, units=1.0, unit_name="evaluations")
+    return workload
+
+
+# ----------------------------------------------------------------------
 # bitstream: generation and relocation filter
 # ----------------------------------------------------------------------
 @benchmark("bitstream.generate")

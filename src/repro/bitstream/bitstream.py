@@ -5,12 +5,21 @@ implementation placed on a rectangle of the device: one payload word vector
 per frame, addressed by :class:`~repro.bitstream.frames.FrameAddress`, plus a
 CRC over (address, payload) pairs exactly as a configuration controller would
 check it.
+
+Bitstreams are immutable after construction: ``frames`` is exposed through a
+read-only mapping view, so the serialized (address, payload) stream and its
+CRC can be computed once and cached — the simulator's hot path re-loads the
+same cached bitstream hundreds of times per run and must not re-serialize
+megabytes of payload on every load.  Producing a modified bitstream (the
+relocation filter, a corruption test) means building a new object, e.g. via
+``dataclasses.replace``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from types import MappingProxyType
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -34,7 +43,7 @@ class PartialBitstream:
     anchor:
         Rectangle the bitstream currently targets.
     frames:
-        Mapping ``FrameAddress -> payload`` (tuple of 32-bit words).
+        Read-only mapping ``FrameAddress -> payload`` (tuple of 32-bit words).
     crc:
         CRC-32 over the (packed address, payload) stream; must match
         :meth:`compute_crc` for the bitstream to be accepted by the
@@ -45,10 +54,20 @@ class PartialBitstream:
 
     module: str
     anchor: Rect
-    frames: Dict[FrameAddress, Tuple[int, ...]]
+    frames: Mapping[FrameAddress, Tuple[int, ...]]
     crc: int
     device_width: int
     device_height: int
+
+    def __post_init__(self) -> None:
+        # freeze the frame store: the cached stream/CRC below stay valid for
+        # the lifetime of the object, and accidental in-place tampering (the
+        # thing the CRC exists to catch) raises instead of silently aliasing
+        if not isinstance(self.frames, MappingProxyType):
+            self.frames = MappingProxyType(dict(self.frames))
+        self._stream: Optional[bytes] = None
+        self._stream_crc: Optional[int] = None
+        self._address_set: Optional[FrozenSet[FrameAddress]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -61,15 +80,51 @@ class PartialBitstream:
         """Total payload size in 32-bit words (excluding addresses)."""
         return sum(len(payload) for payload in self.frames.values())
 
+    def stream_bytes(self) -> bytes:
+        """The serialized (packed address, payload) stream, canonical order.
+
+        Computed once and cached: each frame contributes its packed address
+        as 8 little-endian bytes followed by its payload words as 4-byte
+        little-endian integers, in sorted address order — the byte stream a
+        configuration controller would see on the wire.
+        """
+        if self._stream is None:
+            addresses = sorted(self.frames)
+            if not addresses:
+                self._stream = b""
+            else:
+                width = max(len(self.frames[a]) for a in addresses)
+                packed = np.fromiter(
+                    (a.packed(self.device_width, self.device_height) for a in addresses),
+                    dtype=np.uint64,
+                    count=len(addresses),
+                )
+                if all(len(self.frames[a]) == width for a in addresses):
+                    # uniform frames: one (n, 2 + width) little-endian u32 grid
+                    grid = np.empty((len(addresses), 2 + width), dtype="<u4")
+                    grid[:, 0] = packed & 0xFFFFFFFF
+                    grid[:, 1] = packed >> 32
+                    grid[:, 2:] = np.array(
+                        [self.frames[a] for a in addresses], dtype=np.uint64
+                    ).astype("<u4")
+                    self._stream = grid.tobytes()
+                else:  # ragged payloads: rare, serialize frame by frame
+                    chunks = []
+                    for address, point in zip(addresses, packed):
+                        chunks.append(int(point).to_bytes(8, "little"))
+                        chunks.append(
+                            np.array(self.frames[address], dtype=np.uint64)
+                            .astype("<u4")
+                            .tobytes()
+                        )
+                    self._stream = b"".join(chunks)
+        return self._stream
+
     def compute_crc(self) -> int:
         """Recompute the CRC over the (address, payload) stream."""
-        payload = bytearray()
-        for address in sorted(self.frames):
-            packed = address.packed(self.device_width, self.device_height)
-            payload.extend(packed.to_bytes(8, "little"))
-            for word in self.frames[address]:
-                payload.extend(int(word).to_bytes(4, "little"))
-        return crc32(payload)
+        if self._stream_crc is None:
+            self._stream_crc = crc32(self.stream_bytes())
+        return self._stream_crc
 
     def is_crc_valid(self) -> bool:
         """Whether the stored CRC matches the content."""
@@ -78,6 +133,12 @@ class PartialBitstream:
     def frame_addresses(self) -> List[FrameAddress]:
         """Addresses in canonical (sorted) order."""
         return sorted(self.frames)
+
+    def frame_address_set(self) -> FrozenSet[FrameAddress]:
+        """The addresses as a cached frozenset (the memory's conflict unit)."""
+        if self._address_set is None:
+            self._address_set = frozenset(self.frames)
+        return self._address_set
 
     def block_type_signature(self) -> Tuple[Tuple[int, int, str], ...]:
         """Relative layout of the frames: (dcol, drow, block type) per tile.
@@ -118,10 +179,13 @@ def generate_bitstream(
         seed = crc32(module.encode("utf-8"))
     rng = np.random.default_rng(seed)
 
-    frames: Dict[FrameAddress, Tuple[int, ...]] = {}
-    for address in area_frame_addresses(device, rect):
-        words = rng.integers(0, 2**32, size=WORDS_PER_FRAME, dtype=np.uint64)
-        frames[address] = tuple(int(w) for w in words)
+    addresses = area_frame_addresses(device, rect)
+    words = rng.integers(
+        0, 2**32, size=(len(addresses), WORDS_PER_FRAME), dtype=np.uint64
+    ).tolist()
+    frames: Dict[FrameAddress, Tuple[int, ...]] = {
+        address: tuple(row) for address, row in zip(addresses, words)
+    }
 
     bitstream = PartialBitstream(
         module=module,

@@ -1,14 +1,21 @@
-"""Table-driven CRC-32 (IEEE 802.3 polynomial, bit-reflected).
+"""CRC-32 (IEEE 802.3 polynomial, bit-reflected).
 
 The configuration logic of Xilinx devices protects the bitstream with a CRC
 that must be recomputed after a relocation filter rewrites frame addresses
 (see Section I of the paper).  The exact polynomial of the hardware is not
 relevant to the simulation — what matters is that any change to the payload or
 the addresses invalidates the old checksum — so the ubiquitous CRC-32 is used.
+
+The hot path (every :meth:`ConfigurationMemory.load` re-checks the stream)
+runs through :func:`zlib.crc32`, which implements the same reflected
+polynomial with the same pre/post conditioning at C speed.  The table-driven
+reference implementation is kept as :func:`crc32_reference` and the tests
+assert the two agree on arbitrary payloads and chained initial values.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterable, List
 
 _POLY = 0xEDB88320
@@ -27,12 +34,19 @@ def _build_table() -> List[int]:
 _TABLE = _build_table()
 
 
-def crc32(data: bytes | bytearray | Iterable[int], initial: int = 0) -> int:
-    """CRC-32 of ``data`` (optionally continuing from a previous value)."""
+def crc32_reference(data: bytes | bytearray | Iterable[int], initial: int = 0) -> int:
+    """Table-driven CRC-32 — the readable reference the fast path must match."""
     crc = initial ^ 0xFFFFFFFF
     for byte in bytes(data):
         crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
     return crc ^ 0xFFFFFFFF
+
+
+def crc32(data: bytes | bytearray | Iterable[int], initial: int = 0) -> int:
+    """CRC-32 of ``data`` (optionally continuing from a previous value)."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        data = bytes(data)
+    return zlib.crc32(data, initial) & 0xFFFFFFFF
 
 
 def crc32_of_words(words: Iterable[int], word_bytes: int = 4) -> int:

@@ -6,6 +6,14 @@ checks the bitstream CRC (like the ICAP/SelectMAP controllers) and refuses to
 overwrite frames belonging to another active module.  The run-time manager and
 the end-to-end tests use it to show that relocation really moves a module's
 configuration without touching anything else.
+
+The store is module-granular rather than frame-granular: loading a bitstream
+records the (immutable, CRC-cached) bitstream object and claims its address
+set, instead of copying thousands of payload tuples into a per-frame dict.
+Ownership checks are set intersections and the CRC check is a cached-value
+compare, so the simulator's reconfiguration hot path (unload + load per
+request) costs microseconds; per-frame content is materialized only on the
+cold paths (``readback``/``verify``).
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.bitstream.bitstream import PartialBitstream
 from repro.bitstream.frames import FrameAddress
+
+_ZERO_FRAME: Tuple[int, ...] = tuple([0] * 41)
 
 
 class ConfigurationError(RuntimeError):
@@ -25,9 +35,11 @@ class ConfigurationMemory:
 
     def __init__(self, device_name: str = "device") -> None:
         self.device_name = device_name
-        self._frames: Dict[FrameAddress, Tuple[int, ...]] = {}
-        self._owner: Dict[FrameAddress, str] = {}
-        self._loaded_modules: Dict[str, Set[FrameAddress]] = {}
+        # addresses currently owned by each module (disjoint across modules)
+        self._owned: Dict[str, Set[FrameAddress]] = {}
+        # load history per module, oldest first; content at an owned address
+        # is the newest load of its owner that wrote that address
+        self._loads: Dict[str, List[PartialBitstream]] = {}
         self.write_count = 0
         self.frame_write_count = 0
 
@@ -43,65 +55,73 @@ class ConfigurationMemory:
             raise ConfigurationError(
                 f"bitstream for {bitstream.module!r} fails its CRC check"
             )
-        conflicts = [
-            address
-            for address in bitstream.frames
-            if address in self._owner and self._owner[address] != bitstream.module
-        ]
-        if conflicts and not allow_overwrite:
-            owner = self._owner[conflicts[0]]
-            raise ConfigurationError(
-                f"{len(conflicts)} frames already configured by {owner!r}; "
-                "unload it first or pass allow_overwrite=True"
-            )
-        for address in conflicts:
-            previous = self._owner[address]
-            self._loaded_modules.get(previous, set()).discard(address)
+        addresses = bitstream.frame_address_set()
+        module = bitstream.module
+        for other, owned in self._owned.items():
+            if other == module or owned.isdisjoint(addresses):
+                continue
+            if not allow_overwrite:
+                overlap = len(owned & addresses)
+                raise ConfigurationError(
+                    f"{overlap} frames already configured by {other!r}; "
+                    "unload it first or pass allow_overwrite=True"
+                )
+            owned -= addresses
 
-        touched: Set[FrameAddress] = set()
-        for address, payload in bitstream.frames.items():
-            self._frames[address] = payload
-            self._owner[address] = bitstream.module
-            touched.add(address)
-        existing = self._loaded_modules.setdefault(bitstream.module, set())
-        existing |= touched
+        existing = self._owned.get(module)
+        if existing is None:
+            self._owned[module] = set(addresses)
+        else:
+            existing |= addresses
+        self._loads.setdefault(module, []).append(bitstream)
         self.write_count += 1
-        self.frame_write_count += len(bitstream.frames)
+        self.frame_write_count += len(addresses)
 
     def unload(self, module: str) -> int:
         """Remove every frame owned by ``module``; returns the frame count."""
-        addresses = self._loaded_modules.pop(module, set())
-        for address in addresses:
-            self._frames.pop(address, None)
-            self._owner.pop(address, None)
-        return len(addresses)
+        addresses = self._owned.pop(module, None)
+        self._loads.pop(module, None)
+        return len(addresses) if addresses else 0
 
     # ------------------------------------------------------------------
+    def _content(self, address: FrameAddress) -> Optional[Tuple[int, ...]]:
+        owner = self.owner_of(address)
+        if owner is None:
+            return None
+        for loaded in reversed(self._loads.get(owner, [])):
+            payload = loaded.frames.get(address)
+            if payload is not None:
+                return payload
+        return None
+
     def readback(self, addresses: List[FrameAddress]) -> Dict[FrameAddress, Tuple[int, ...]]:
         """Read the payload of the given frames (missing frames read as zeros)."""
         return {
-            address: self._frames.get(address, tuple([0] * 41)) for address in addresses
+            address: self._content(address) or _ZERO_FRAME for address in addresses
         }
 
     def verify(self, bitstream: PartialBitstream) -> bool:
         """Whether the memory currently holds exactly this bitstream's content."""
         for address, payload in bitstream.frames.items():
-            if self._frames.get(address) != payload:
+            if self._content(address) != payload:
                 return False
         return True
 
     def owner_of(self, address: FrameAddress) -> Optional[str]:
         """Module currently configured on a frame (``None`` when unused)."""
-        return self._owner.get(address)
+        for module, owned in self._owned.items():
+            if address in owned:
+                return module
+        return None
 
     def loaded_modules(self) -> List[str]:
         """Names of modules with at least one configured frame."""
-        return sorted(name for name, frames in self._loaded_modules.items() if frames)
+        return sorted(name for name, owned in self._owned.items() if owned)
 
     @property
     def configured_frame_count(self) -> int:
         """Number of frames currently holding configuration data."""
-        return len(self._frames)
+        return sum(len(owned) for owned in self._owned.values())
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,81 @@
+"""Fleet-scale capacity planning on the vectorized simulation core.
+
+``repro.capacity`` turns the discrete-event simulator into a planning tool:
+
+* :mod:`~repro.capacity.fleet` simulates hundreds of devices under one
+  shared traffic process — per-device ports, bounded queues, fault/repair
+  cycles — with stats merged fleet-wide;
+* :mod:`~repro.capacity.dispatch` provides the pluggable dispatchers
+  (round-robin, least-loaded, consistent-hash mirroring the fleet router);
+* :mod:`~repro.capacity.planner` binary-searches the minimum fleet size
+  meeting a throughput + p99-latency + blocking SLO and sweeps rate
+  multipliers into a capacity curve;
+* :mod:`~repro.capacity.report` renders deterministic JSON/markdown reports.
+
+Quickstart::
+
+    from repro.capacity import (
+        CapacityScenario, CapacitySLO, DeviceProfile, plan_min_devices,
+    )
+
+    profile = DeviceProfile("v5", {"A": 144, "B": 144}, seconds_per_frame=1e-4)
+    scenario = CapacityScenario(profile, rate=50.0, horizon=120.0, seed=7)
+    outcome = plan_min_devices(scenario, CapacitySLO(max_p99_latency_s=0.2))
+    print(outcome.min_devices)
+
+or from the command line::
+
+    python -m repro.capacity --rate 50 --p99 0.2 --sweep 0.5,1.0,2.0
+"""
+
+from repro.capacity.dispatch import (
+    ConsistentHash,
+    Dispatcher,
+    LeastLoaded,
+    RoundRobin,
+    dispatcher_names,
+    make_dispatcher,
+)
+from repro.capacity.fleet import (
+    DeviceProfile,
+    FleetConfig,
+    FleetResult,
+    FleetSimulation,
+)
+from repro.capacity.planner import (
+    CapacityScenario,
+    CapacitySLO,
+    Evaluation,
+    PlanOutcome,
+    capacity_curve,
+    evaluate_slo,
+    plan_min_devices,
+)
+from repro.capacity.report import plan_document, render_json, render_markdown
+
+__all__ = [
+    # dispatch
+    "Dispatcher",
+    "RoundRobin",
+    "LeastLoaded",
+    "ConsistentHash",
+    "make_dispatcher",
+    "dispatcher_names",
+    # fleet
+    "DeviceProfile",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSimulation",
+    # planner
+    "CapacitySLO",
+    "CapacityScenario",
+    "Evaluation",
+    "PlanOutcome",
+    "evaluate_slo",
+    "plan_min_devices",
+    "capacity_curve",
+    # report
+    "plan_document",
+    "render_json",
+    "render_markdown",
+]

@@ -1,0 +1,179 @@
+"""Deterministic JSON and markdown rendering of capacity plans.
+
+The report is the planner's product, so it must be byte-identical across
+runs of the same seeded scenario (the ``capacity-smoke`` CI job diffs two
+runs): floats are rounded to a fixed precision before serialization, JSON is
+emitted with sorted keys, and nothing time- or host-dependent is included.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.capacity.planner import CapacityScenario, CapacitySLO, PlanOutcome
+
+__all__ = ["plan_document", "render_json", "render_markdown"]
+
+SCHEMA = "repro.capacity/1"
+_FLOAT_DIGITS = 9
+
+
+def _round(value: float) -> float:
+    return round(float(value), _FLOAT_DIGITS)
+
+
+def _round_metrics(metrics: Dict[str, float]) -> Dict[str, float]:
+    return {key: _round(value) for key, value in sorted(metrics.items())}
+
+
+def plan_document(
+    scenario: CapacityScenario,
+    slo: CapacitySLO,
+    outcome: PlanOutcome,
+    curve: Optional[Sequence[Dict[str, object]]] = None,
+) -> Dict[str, object]:
+    """The whole plan as one JSON-serializable document."""
+    document: Dict[str, object] = {
+        "schema": SCHEMA,
+        "scenario": {
+            "profile": scenario.profile.name,
+            "regions": {
+                region: int(frames)
+                for region, frames in sorted(scenario.profile.frame_counts.items())
+            },
+            "seconds_per_frame": _round(scenario.profile.seconds_per_frame),
+            "ports_per_device": scenario.profile.num_ports,
+            "rate": _round(scenario.rate),
+            "horizon": _round(scenario.horizon),
+            "seed": scenario.seed,
+            "modes_per_region": scenario.modes_per_region,
+            "dispatcher": scenario.dispatcher,
+            "fault_rate": _round(scenario.fault_rate),
+            "repair_time": _round(scenario.repair_time),
+            "queue_capacity": scenario.queue_capacity,
+        },
+        "slo": {
+            "max_p99_latency_s": _round(slo.max_p99_latency_s),
+            "max_blocking": _round(slo.max_blocking),
+            "min_throughput_fraction": _round(slo.min_throughput_fraction),
+        },
+        "min_devices": outcome.min_devices,
+        "search": [
+            {
+                "num_devices": evaluation.num_devices,
+                "ok": evaluation.ok,
+                "failures": list(evaluation.failures),
+                "metrics": _round_metrics(evaluation.metrics),
+            }
+            for evaluation in outcome.evaluations
+        ],
+    }
+    if curve is not None:
+        document["curve"] = [
+            {
+                "rate_multiplier": _round(point["rate_multiplier"]),
+                "offered_rate": _round(point["offered_rate"]),
+                "min_devices": point["min_devices"],
+                "metrics": _round_metrics(point.get("metrics", {})),
+            }
+            for point in curve
+        ]
+    return document
+
+
+def render_json(document: Dict[str, object]) -> str:
+    """Canonical JSON (sorted keys, fixed indent, trailing newline)."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return lines
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
+
+
+def render_markdown(document: Dict[str, object]) -> str:
+    """The plan as a human-readable markdown report (deterministic)."""
+    scenario = document["scenario"]
+    slo = document["slo"]
+    lines: List[str] = ["# Capacity plan", ""]
+    minimum = document["min_devices"]
+    if minimum is None:
+        lines.append("**SLO not reachable within the searched fleet sizes.**")
+    else:
+        lines.append(
+            f"**Minimum fleet size: {minimum} device(s)** for "
+            f"{_fmt(scenario['rate'])} req/s "
+            f"(p99 ≤ {_fmt(slo['max_p99_latency_s'])} s, "
+            f"blocking ≤ {_fmt(slo['max_blocking'])}, "
+            f"served/offered ≥ {_fmt(slo['min_throughput_fraction'])})."
+        )
+    lines.append("")
+
+    lines.append("## Scenario")
+    lines.append("")
+    lines.extend(
+        _markdown_table(
+            ["parameter", "value"],
+            [[key, _fmt(value)] for key, value in sorted(scenario.items())
+             if key != "regions"]
+            + [
+                [f"frames[{region}]", frames]
+                for region, frames in sorted(scenario["regions"].items())
+            ],
+        )
+    )
+    lines.append("")
+
+    lines.append("## Search trajectory")
+    lines.append("")
+    lines.extend(
+        _markdown_table(
+            ["devices", "SLO", "p99 (s)", "blocking", "served/offered", "failures"],
+            [
+                [
+                    step["num_devices"],
+                    "pass" if step["ok"] else "fail",
+                    _fmt(step["metrics"].get("p99_latency_s", 0.0)),
+                    _fmt(step["metrics"].get("blocking_probability", 0.0)),
+                    _fmt(step["metrics"].get("throughput_fraction", 0.0)),
+                    "; ".join(step["failures"]) or "-",
+                ]
+                for step in document["search"]
+            ],
+        )
+    )
+    lines.append("")
+
+    curve = document.get("curve")
+    if curve:
+        lines.append("## Capacity curve")
+        lines.append("")
+        lines.extend(
+            _markdown_table(
+                ["rate multiplier", "offered req/s", "min devices", "p99 (s)", "blocking"],
+                [
+                    [
+                        _fmt(point["rate_multiplier"]),
+                        _fmt(point["offered_rate"]),
+                        point["min_devices"] if point["min_devices"] is not None else "-",
+                        _fmt(point["metrics"].get("p99_latency_s", 0.0)),
+                        _fmt(point["metrics"].get("blocking_probability", 0.0)),
+                    ]
+                    for point in curve
+                ],
+            )
+        )
+        lines.append("")
+    return "\n".join(lines)

@@ -57,6 +57,7 @@ from repro.sim.traffic import (
     PoissonTraffic,
     TraceReplayTraffic,
     TrafficModel,
+    batched_poisson_times,
     sinusoidal_rate,
 )
 
@@ -75,6 +76,7 @@ __all__ = [
     "MMPPTraffic",
     "TraceReplayTraffic",
     "sinusoidal_rate",
+    "batched_poisson_times",
     # faults
     "FaultPlan",
     "FaultEvent",

@@ -145,15 +145,19 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
         """Generate the scenario, play every event, return the result."""
-        for index, request in enumerate(self.traffic.generate(self.config.horizon)):
-            self._queue.push(
+        self._queue.push_batch(
+            (
                 request.time,
                 SimEventKind.ARRIVAL,
                 _Pending(request_id=index, request=request, arrival=request.time),
             )
+            for index, request in enumerate(self.traffic.generate(self.config.horizon))
+        )
         if self.faults is not None:
-            for fault in self.faults.events(self.config.horizon):
-                self._queue.push(fault.time, SimEventKind.FAULT, fault)
+            self._queue.push_batch(
+                (fault.time, SimEventKind.FAULT, fault)
+                for fault in self.faults.events(self.config.horizon)
+            )
 
         while self._queue:
             event = self._queue.pop()

@@ -31,19 +31,19 @@ def poisson_times(rate: float, horizon: float, seed: int = 0) -> List[float]:
 
     The shared primitive behind every stochastic fault schedule — virtual-time
     fabric faults here, wall-clock chaos events in :mod:`repro.chaos.plan`.
-    Deterministic for a given ``(rate, horizon, seed)``.
+    Deterministic for a given ``(rate, horizon, seed)``, and bitwise identical
+    to the scalar gap-sampling loop it replaced (the batched generator
+    consumes the same draws in the same order; see
+    :func:`repro.sim.traffic.batched_poisson_times`).
     """
     if rate <= 0:
         raise ValueError(f"rate must be positive, got {rate}")
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
-    rng = make_rng(seed)
-    times: List[float] = []
-    time = float(rng.exponential(1.0 / rate))
-    while time < horizon:
-        times.append(time)
-        time += float(rng.exponential(1.0 / rate))
-    return times
+    from repro.sim.traffic import batched_poisson_times
+
+    times = batched_poisson_times(make_rng(seed), rate, horizon)
+    return [float(time) for time in times]
 
 
 def fault_masked_problem(

@@ -57,11 +57,15 @@ class RequestRecord:
         return self.finish - self.start
 
 
-def percentile(values: Sequence[float], pct: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
+def percentile(values: Sequence[float], pct: float, presorted: bool = False) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``presorted=True`` skips the sort so callers summarizing several
+    percentiles of one sample (p50/p90/p99) can sort once and share.
+    """
     if not values:
         raise ValueError("percentile of an empty sequence")
-    ordered = sorted(values)
+    ordered = values if presorted else sorted(values)
     rank = max(1, -(-len(ordered) * pct // 100))  # ceil without floats
     return ordered[int(rank) - 1]
 
@@ -108,6 +112,25 @@ class SimStats:
     def record_rejected_arrival(self) -> None:
         self.rejected_arrivals += 1
 
+    def merge(self, other: "SimStats") -> None:
+        """Fold another run's records into this one (fleet roll-up).
+
+        Records keep their original request ids; summaries, percentiles and
+        blocking probabilities are computed over the union, which is what a
+        fleet-level SLO check needs.
+        """
+        self.records.extend(other.records)
+        self.fault_times.extend(other.fault_times)
+        self.rejected_arrivals += other.rejected_arrivals
+
+    @classmethod
+    def merged(cls, parts: Sequence["SimStats"]) -> "SimStats":
+        """A new :class:`SimStats` holding every record of ``parts``."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
     # ------------------------------------------------------------------
     # aggregate views
     # ------------------------------------------------------------------
@@ -140,10 +163,11 @@ class SimStats:
     def _summary(values: Sequence[float]) -> Dict[str, float]:
         summary: Dict[str, float] = {"count": len(values)}
         if values:
-            summary["mean"] = sum(values) / len(values)
-            summary["max"] = max(values)
+            ordered = sorted(values)  # one sort shared across every percentile
+            summary["mean"] = sum(ordered) / len(ordered)
+            summary["max"] = ordered[-1]
             for pct in PERCENTILES:
-                summary[f"p{pct}"] = percentile(values, pct)
+                summary[f"p{pct}"] = percentile(ordered, pct, presorted=True)
         return summary
 
     def latency_summary(self) -> Dict[str, Dict[str, float]]:

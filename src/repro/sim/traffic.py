@@ -2,18 +2,30 @@
 
 Four generator families cover the scenarios the online benchmarks need:
 
-* :class:`PoissonTraffic` — homogeneous Poisson arrivals (exponential
-  inter-arrival gaps at a constant rate);
+* :class:`PoissonTraffic` — homogeneous Poisson arrivals (batched exponential
+  gap-sampling by default, order-statistics inversion on request);
 * :class:`InhomogeneousPoissonTraffic` — time-varying rate λ(t) simulated by
-  Lewis–Shedler thinning, in the spirit of the IPPP package's inhomogeneous
-  Poisson point process simulators (PAPERS.md);
+  the inversion / order-statistics method of the IPPP package (PAPERS.md):
+  draw N ~ Poisson(Λ(T)), then map sorted uniforms through the inverse
+  cumulative rate.  The classic Lewis–Shedler thinning loop is kept as the
+  per-event reference oracle;
 * :class:`MMPPTraffic` — a two-state Markov-modulated Poisson process for
-  bursty traffic (quiet/burst phases with exponential sojourns);
+  bursty traffic (quiet/burst phases with exponential sojourns), vectorized
+  per phase by memorylessness;
 * :class:`TraceReplayTraffic` — deterministic replay of a (possibly timed)
   :class:`~repro.runtime.scheduler.ModeSchedule`.
 
 Every generator is seeded through :func:`repro.utils.rng.make_rng`, so a
 ``generate(horizon)`` call is bit-for-bit reproducible.
+
+Stream layout: arrival *times* consume ``make_rng(seed)``, region picks
+``make_rng(seed + 1)``, mode picks ``make_rng(seed + 2)`` and MMPP phase
+sojourns ``make_rng(seed + 3)``.  Hoisting the draws onto independent streams
+(the idiom :class:`~repro.sim.faults.RandomFaults` established) is what lets
+the batched numpy implementation produce *bitwise identical* request streams
+to the per-event ``generate_reference`` loops: ``rng.exponential(s, size=n)``
+consumes the same underlying draws as ``n`` scalar calls and ``np.cumsum``
+accumulates strictly left-to-right, which the equivalence property tests pin.
 """
 
 from __future__ import annotations
@@ -22,6 +34,8 @@ import abc
 import dataclasses
 import math
 from typing import Callable, List, Sequence
+
+import numpy as np
 
 from repro.runtime.scheduler import ModeSchedule
 from repro.utils.rng import make_rng
@@ -34,6 +48,26 @@ class ModeRequest:
     time: float
     region: str
     mode: str
+
+
+def batched_poisson_times(rng, rate: float, horizon: float) -> np.ndarray:
+    """Arrival instants of a homogeneous Poisson process, batch-generated.
+
+    Draws exponential gaps in blocks and cumulative-sums them; the result is
+    bitwise identical to the scalar ``time += rng.exponential(1/rate)`` loop
+    because both consume the same draws in the same order and accumulate with
+    the same sequence of float64 additions.
+    """
+    if not math.isfinite(horizon):
+        raise ValueError(f"horizon must be finite, got {horizon}")
+    scale = 1.0 / rate
+    block = max(64, int(rate * horizon * 1.2) + 32)
+    gaps = rng.exponential(scale, size=block)
+    times = np.cumsum(gaps)
+    while times[-1] < horizon:
+        gaps = np.concatenate([gaps, rng.exponential(scale, size=block)])
+        times = np.cumsum(gaps)
+    return times[times < horizon]
 
 
 class TrafficModel(abc.ABC):
@@ -51,10 +85,16 @@ class TrafficModel(abc.ABC):
 
 
 class _RandomModeMixin:
-    """Uniform region/mode picking shared by the stochastic generators."""
+    """Uniform region/mode picking shared by the stochastic generators.
+
+    Picks live on their own seeded streams (``seed + 1`` for regions,
+    ``seed + 2`` for modes) so the arrival-time stream is identical between
+    the vectorized and per-event implementations.
+    """
 
     regions: Sequence[str]
     modes_per_region: int
+    seed: int
 
     def _check_population(self) -> None:
         if not self.regions:
@@ -62,14 +102,44 @@ class _RandomModeMixin:
         if self.modes_per_region <= 0:
             raise ValueError("modes_per_region must be positive")
 
-    def _pick(self, rng, time: float) -> ModeRequest:
-        region = self.regions[int(rng.integers(len(self.regions)))]
-        mode = f"mode{int(rng.integers(self.modes_per_region)) + 1}"
-        return ModeRequest(time=time, region=region, mode=mode)
+    def _mode_names(self) -> List[str]:
+        return [f"mode{index + 1}" for index in range(self.modes_per_region)]
+
+    def _materialize(self, times: np.ndarray) -> List[ModeRequest]:
+        """Attach batch-drawn region/mode picks to sorted arrival times."""
+        count = len(times)
+        region_idx = make_rng(self.seed + 1).integers(len(self.regions), size=count)
+        mode_idx = make_rng(self.seed + 2).integers(self.modes_per_region, size=count)
+        regions, modes = self.regions, self._mode_names()
+        return [
+            ModeRequest(time=float(time), region=regions[r], mode=modes[m])
+            for time, r, m in zip(times, region_idx, mode_idx)
+        ]
+
+    def _reference_picker(self):
+        """Per-event pick closure consuming the same streams one draw at a time."""
+        region_rng = make_rng(self.seed + 1)
+        mode_rng = make_rng(self.seed + 2)
+        regions, modes = self.regions, self._mode_names()
+
+        def pick(time: float) -> ModeRequest:
+            region = regions[int(region_rng.integers(len(regions)))]
+            mode = modes[int(mode_rng.integers(self.modes_per_region))]
+            return ModeRequest(time=time, region=region, mode=mode)
+
+        return pick
 
 
 class PoissonTraffic(_RandomModeMixin, TrafficModel):
-    """Homogeneous Poisson arrivals at ``rate`` requests per second."""
+    """Homogeneous Poisson arrivals at ``rate`` requests per second.
+
+    ``method="gap"`` (default) batch-samples exponential gaps — bitwise
+    identical to the per-event loop in :meth:`generate_reference`.
+    ``method="inversion"`` uses the order-statistics construction
+    (N ~ Poisson(rate·T), sorted uniforms scaled to the horizon); it draws a
+    different stream but the same distribution, which the property tests
+    check KS-style.
+    """
 
     def __init__(
         self,
@@ -77,22 +147,39 @@ class PoissonTraffic(_RandomModeMixin, TrafficModel):
         rate: float,
         modes_per_region: int = 3,
         seed: int = 0,
+        method: str = "gap",
     ) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
+        if method not in ("gap", "inversion"):
+            raise ValueError(f"method must be 'gap' or 'inversion', got {method!r}")
         self.regions = list(regions)
         self.rate = float(rate)
         self.modes_per_region = modes_per_region
         self.seed = seed
+        self.method = method
         self._check_population()
 
     def generate(self, horizon: float) -> List[ModeRequest]:
         horizon = self._check_horizon(horizon)
         rng = make_rng(self.seed)
+        if self.method == "inversion":
+            count = int(rng.poisson(self.rate * horizon))
+            times = np.sort(rng.random(count)) * horizon
+            times = times[times < horizon]
+        else:
+            times = batched_poisson_times(rng, self.rate, horizon)
+        return self._materialize(times)
+
+    def generate_reference(self, horizon: float) -> List[ModeRequest]:
+        """Per-event gap-sampling oracle for the equivalence property tests."""
+        horizon = self._check_horizon(horizon)
+        rng = make_rng(self.seed)
+        pick = self._reference_picker()
         requests: List[ModeRequest] = []
         time = float(rng.exponential(1.0 / self.rate))
         while time < horizon:
-            requests.append(self._pick(rng, time))
+            requests.append(pick(time))
             time += float(rng.exponential(1.0 / self.rate))
         return requests
 
@@ -100,10 +187,16 @@ class PoissonTraffic(_RandomModeMixin, TrafficModel):
 class InhomogeneousPoissonTraffic(_RandomModeMixin, TrafficModel):
     """Inhomogeneous Poisson arrivals with rate ``rate_fn(t)``.
 
-    Uses Lewis–Shedler thinning: candidate points are drawn from a
-    homogeneous process at the dominating rate ``rate_max`` and each is kept
-    with probability ``rate_fn(t) / rate_max``.  ``rate_fn`` must satisfy
-    ``0 <= rate_fn(t) <= rate_max`` over the horizon (violations raise).
+    The default path is the IPPP inversion method: the cumulative rate
+    Λ(t) = ∫₀ᵗ λ(s) ds is tabulated by the trapezoid rule on ``grid_points``
+    samples, N ~ Poisson(Λ(T)) arrivals are drawn, and sorted uniforms on
+    [0, Λ(T)] are mapped through the inverse of Λ by linear interpolation.
+    ``rate_fn`` must satisfy ``0 <= rate_fn(t) <= rate_max`` over the horizon
+    (checked on the grid; violations raise, as the thinning loop always did).
+
+    :meth:`generate_reference` keeps the Lewis–Shedler thinning loop as the
+    per-event oracle; the two agree distributionally (same seed, KS-tested)
+    but not draw-for-draw.
     """
 
     def __init__(
@@ -113,19 +206,51 @@ class InhomogeneousPoissonTraffic(_RandomModeMixin, TrafficModel):
         rate_max: float,
         modes_per_region: int = 3,
         seed: int = 0,
+        grid_points: int = 1025,
     ) -> None:
         if rate_max <= 0:
             raise ValueError(f"rate_max must be positive, got {rate_max}")
+        if grid_points < 2:
+            raise ValueError(f"grid_points must be at least 2, got {grid_points}")
         self.regions = list(regions)
         self.rate_fn = rate_fn
         self.rate_max = float(rate_max)
         self.modes_per_region = modes_per_region
         self.seed = seed
+        self.grid_points = int(grid_points)
         self._check_population()
+
+    def _rates_on_grid(self, grid: np.ndarray) -> np.ndarray:
+        rates = np.array([float(self.rate_fn(t)) for t in grid])
+        bad = (rates < 0) | (rates > self.rate_max + 1e-9)
+        if bad.any():
+            where = int(np.argmax(bad))
+            raise ValueError(
+                f"rate_fn({grid[where]:.6f}) = {rates[where]} "
+                f"outside [0, rate_max={self.rate_max}]"
+            )
+        return rates
 
     def generate(self, horizon: float) -> List[ModeRequest]:
         horizon = self._check_horizon(horizon)
         rng = make_rng(self.seed)
+        grid = np.linspace(0.0, horizon, self.grid_points)
+        rates = self._rates_on_grid(grid)
+        cumulative = np.concatenate(
+            [[0.0], np.cumsum(0.5 * (rates[1:] + rates[:-1]) * np.diff(grid))]
+        )
+        total = float(cumulative[-1])
+        count = int(rng.poisson(total)) if total > 0 else 0
+        marks = np.sort(rng.random(count)) * total
+        times = np.interp(marks, cumulative, grid)
+        times = times[times < horizon]
+        return self._materialize(times)
+
+    def generate_reference(self, horizon: float) -> List[ModeRequest]:
+        """Per-event Lewis–Shedler thinning oracle."""
+        horizon = self._check_horizon(horizon)
+        rng = make_rng(self.seed)
+        pick = self._reference_picker()
         requests: List[ModeRequest] = []
         time = float(rng.exponential(1.0 / self.rate_max))
         while time < horizon:
@@ -135,7 +260,7 @@ class InhomogeneousPoissonTraffic(_RandomModeMixin, TrafficModel):
                     f"rate_fn({time:.6f}) = {rate} outside [0, rate_max={self.rate_max}]"
                 )
             if rng.random() < rate / self.rate_max:
-                requests.append(self._pick(rng, time))
+                requests.append(pick(time))
             time += float(rng.exponential(1.0 / self.rate_max))
         return requests
 
@@ -166,6 +291,12 @@ class MMPPTraffic(_RandomModeMixin, TrafficModel):
     state 1 (rate ``rates[1]``); sojourn times in each state are exponential
     with the given means.  This is the standard bursty-traffic model: long
     quiet stretches punctuated by high-rate bursts.
+
+    Phase sojourns are drawn on their own stream (``seed + 3``), so the
+    vectorized path and :meth:`generate_reference` see *identical* phase
+    boundaries; within each phase, memorylessness makes per-phase
+    order-statistics regeneration exact, which the distributional property
+    tests check window by window.
     """
 
     def __init__(
@@ -187,25 +318,57 @@ class MMPPTraffic(_RandomModeMixin, TrafficModel):
         self.seed = seed
         self._check_population()
 
+    def phase_segments(self, horizon: float) -> List[tuple]:
+        """``(start, end, state)`` segments of the modulating chain on [0, T)."""
+        rng = make_rng(self.seed + 3)
+        segments: List[tuple] = []
+        state, time = 0, 0.0
+        while time < horizon:
+            sojourn = float(rng.exponential(self.mean_sojourns[state]))
+            segments.append((time, min(time + sojourn, horizon), state))
+            time += sojourn
+            state = 1 - state
+        return segments
+
     def generate(self, horizon: float) -> List[ModeRequest]:
         horizon = self._check_horizon(horizon)
         rng = make_rng(self.seed)
+        parts: List[np.ndarray] = []
+        for start, end, state in self.phase_segments(horizon):
+            length = end - start
+            if length <= 0:
+                continue
+            count = int(rng.poisson(self.rates[state] * length))
+            if count:
+                parts.append(start + np.sort(rng.random(count)) * length)
+        if parts:
+            times = np.concatenate(parts)
+            times = times[times < horizon]
+        else:
+            times = np.empty(0)
+        return self._materialize(times)
+
+    def generate_reference(self, horizon: float) -> List[ModeRequest]:
+        """Per-event oracle: gap-sampling restarted at each phase switch."""
+        horizon = self._check_horizon(horizon)
+        phase_rng = make_rng(self.seed + 3)
+        rng = make_rng(self.seed)
+        pick = self._reference_picker()
         requests: List[ModeRequest] = []
-        state = 0
-        time = 0.0
-        phase_end = float(rng.exponential(self.mean_sojourns[state]))
+        state, time = 0, 0.0
+        phase_end = float(phase_rng.exponential(self.mean_sojourns[state]))
         while time < horizon:
             gap = float(rng.exponential(1.0 / self.rates[state]))
             if time + gap >= phase_end:
                 # no arrival before the phase switch: jump states and retry
                 time = phase_end
                 state = 1 - state
-                phase_end = time + float(rng.exponential(self.mean_sojourns[state]))
+                phase_end = time + float(phase_rng.exponential(self.mean_sojourns[state]))
                 continue
             time += gap
             if time >= horizon:
                 break
-            requests.append(self._pick(rng, time))
+            requests.append(pick(time))
         return requests
 
 

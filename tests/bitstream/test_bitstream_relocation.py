@@ -1,5 +1,8 @@
 """Unit tests for frame addressing, CRC, bitstreams and the relocation filter."""
 
+import dataclasses
+import random
+
 import pytest
 
 from repro.bitstream import (
@@ -12,7 +15,7 @@ from repro.bitstream import (
     relocate_bitstream,
 )
 from repro.bitstream.bitstream import WORDS_PER_FRAME
-from repro.bitstream.crc import crc32_of_words
+from repro.bitstream.crc import crc32_of_words, crc32_reference
 from repro.bitstream.frames import frame_count
 from repro.bitstream.memory import ConfigurationError
 from repro.floorplan import Rect
@@ -31,6 +34,21 @@ class TestCrc:
         assert crc32_of_words([1, 2, 3]) == crc32(
             (1).to_bytes(4, "little") + (2).to_bytes(4, "little") + (3).to_bytes(4, "little")
         )
+
+    def test_fast_path_matches_reference(self):
+        rng = random.Random(42)
+        for size in (0, 1, 7, 64, 1000):
+            data = bytes(rng.randrange(256) for _ in range(size))
+            assert crc32(data) == crc32_reference(data)
+
+    def test_fast_path_matches_reference_when_chained(self):
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(512))
+        partial_fast = crc32(data[:200])
+        partial_ref = crc32_reference(data[:200])
+        assert partial_fast == partial_ref
+        assert crc32(data[200:], partial_fast) == crc32_reference(data[200:], partial_ref)
+        assert crc32(data[200:], partial_fast) == crc32(data)
 
 
 class TestFrameAddresses:
@@ -70,10 +88,19 @@ class TestBitstreamGeneration:
         bitstream = generate_bitstream(two_type_device, Rect(0, 0, 2, 1), "modA")
         assert bitstream.is_crc_valid()
         address = next(iter(bitstream.frames))
-        payload = list(bitstream.frames[address])
+        corrupted = dict(bitstream.frames)
+        payload = list(corrupted[address])
         payload[0] ^= 1
-        bitstream.frames[address] = tuple(payload)
-        assert not bitstream.is_crc_valid()
+        corrupted[address] = tuple(payload)
+        tampered = dataclasses.replace(bitstream, frames=corrupted)
+        assert not tampered.is_crc_valid()
+
+    def test_frames_are_immutable(self, two_type_device):
+        # in-place tampering must raise, not silently invalidate the cached CRC
+        bitstream = generate_bitstream(two_type_device, Rect(0, 0, 1, 1), "modA")
+        address = next(iter(bitstream.frames))
+        with pytest.raises(TypeError):
+            bitstream.frames[address] = tuple([0] * WORDS_PER_FRAME)
 
     def test_size_accounting(self, two_type_device):
         bitstream = generate_bitstream(two_type_device, Rect(0, 0, 1, 1), "modA")

@@ -69,3 +69,88 @@ class TestEventQueue:
         queue = EventQueue()
         with pytest.raises(ValueError):
             queue.push(-1.0, SimEventKind.ARRIVAL)
+        with pytest.raises(ValueError):
+            queue.push_batch([(-0.5, SimEventKind.ARRIVAL, None)])
+
+    def test_repair_pops_after_complete_before_fault(self):
+        queue = EventQueue()
+        queue.push(1.0, SimEventKind.FAULT, "fault")
+        queue.push(1.0, SimEventKind.REPAIR, "repair")
+        queue.push(1.0, SimEventKind.COMPLETE, "complete")
+        assert [queue.pop().payload for _ in range(3)] == [
+            "complete",
+            "repair",
+            "fault",
+        ]
+
+
+class TestEventQueueBatched:
+    def test_batch_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push_batch(
+            [
+                (3.0, SimEventKind.ARRIVAL, "late"),
+                (1.0, SimEventKind.ARRIVAL, "early"),
+                (2.0, SimEventKind.ARRIVAL, "middle"),
+            ]
+        )
+        assert [queue.pop().payload for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_batch_keeps_fifo_ties_like_sequential_pushes(self):
+        queue = EventQueue()
+        queue.push_batch([(1.0, SimEventKind.ARRIVAL, index) for index in range(5)])
+        assert [queue.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_two_batches_merge(self):
+        # the engine batches arrivals then faults: both runs must interleave
+        queue = EventQueue()
+        queue.push_batch([(t, SimEventKind.ARRIVAL, f"a{t}") for t in (1.0, 3.0, 5.0)])
+        queue.push_batch([(t, SimEventKind.FAULT, f"f{t}") for t in (2.0, 4.0)])
+        assert [queue.pop().payload for _ in range(5)] == [
+            "a1.0",
+            "f2.0",
+            "a3.0",
+            "f4.0",
+            "a5.0",
+        ]
+
+    def test_dynamic_pushes_interleave_with_batch(self):
+        queue = EventQueue()
+        queue.push_batch([(t, SimEventKind.ARRIVAL, f"a{t}") for t in (1.0, 2.0, 4.0)])
+        assert queue.pop().payload == "a1.0"
+        queue.push(3.0, SimEventKind.COMPLETE, "c3.0")  # scheduled mid-run
+        assert [queue.pop().payload for _ in range(3)] == ["a2.0", "c3.0", "a4.0"]
+
+    def test_same_instant_priority_across_batch_and_push(self):
+        queue = EventQueue()
+        queue.push_batch([(1.0, SimEventKind.ARRIVAL, "arrival")])
+        queue.push(1.0, SimEventKind.COMPLETE, "complete")
+        assert queue.peek().payload == "complete"
+        assert [queue.pop().payload for _ in range(2)] == ["complete", "arrival"]
+
+    def test_matches_reference_heap_on_random_schedule(self):
+        import heapq
+        import random
+
+        rng = random.Random(13)
+        items = [
+            (
+                round(rng.uniform(0.0, 50.0), 3),
+                rng.choice(list(SimEventKind)),
+                index,
+            )
+            for index in range(500)
+        ]
+        queue = EventQueue()
+        queue.push_batch(items[:300])
+        for time, kind, payload in items[300:]:
+            queue.push(time, kind, payload)
+
+        priorities = {kind: rank for rank, kind in enumerate(SimEventKind)}
+        reference = []
+        for seq, (time, kind, payload) in enumerate(items):
+            heapq.heappush(reference, (time, priorities[kind], seq, payload))
+        expected = [heapq.heappop(reference)[-1] for _ in range(len(items))]
+        assert len(queue) == len(items)
+        assert [queue.pop().payload for _ in range(len(items))] == expected
+        assert not queue

@@ -89,6 +89,12 @@ class TestPercentileAndHistogram:
         with pytest.raises(ValueError):
             percentile([], 50)
 
+    def test_presorted_shares_one_sort(self):
+        values = [9.0, 1.0, 5.0, 3.0, 7.0]
+        ordered = sorted(values)
+        for pct in (50, 90, 99):
+            assert percentile(ordered, pct, presorted=True) == percentile(values, pct)
+
     def test_histogram_bins_cover_all_values(self):
         bins = histogram([0.1, 0.6, 0.9, 1.0], bins=2, upper=1.0)
         assert len(bins) == 2
@@ -154,3 +160,26 @@ class TestSimStats:
         stats.record(_record(0, "A", 0.0, 0.0, 1.0))
         stats.record(_record(1, "A", 0.0, 1.0, 2.0, action="relocate+reconfigure"))
         assert stats.actions() == {"reconfigure": 1, "relocate+reconfigure": 1}
+
+    def test_merge_unions_records_and_counters(self):
+        left, right = SimStats(), SimStats()
+        left.record(_record(0, "A", 0.0, 0.0, 1.0))
+        left.record_fault(2.0)
+        right.record(_record(0, "B", 0.0, 1.0, 3.0, ok=False, action="blocked"))
+        right.record_rejected_arrival()
+        merged = SimStats.merged([left, right])
+        assert len(merged) == 2
+        assert merged.fault_times == [2.0]
+        assert merged.rejected_arrivals == 1
+        assert merged.blocking_probability == pytest.approx(2 / 3)
+        # originals untouched
+        assert len(left) == 1 and len(right) == 1
+
+    def test_summary_matches_per_percentile_calls(self):
+        stats = SimStats()
+        for index in range(20):
+            stats.record(_record(index, "A", 0.0, 0.0, float(index + 1)))
+        summary = stats.latency_summary()["latency"]
+        latencies = [record.latency for record in stats.records]
+        for pct in (50, 90, 99):
+            assert summary[f"p{pct}"] == percentile(latencies, pct)
